@@ -1,0 +1,47 @@
+"""Ablation: simulated L1 locality of the query phase (paper S.III-C)."""
+
+from benchmarks.conftest import write_artifact
+from repro.hw.cachesim import CacheConfig, simulate_query_hit_rate
+
+
+def test_cache_artifact(benchmark, artifact_dir):
+    """Regenerate the hit-rate table and pin the degradation shape."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("cache"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "cache", tables)
+    rows = tables[0].rows
+    untiled = [r[2] for r in rows]
+    assert untiled == sorted(untiled, reverse=True)  # falls with batch
+
+
+def test_simulate_batch1(benchmark):
+    """Address-stream replay at batch 1 (tables fit L1)."""
+    benchmark.pedantic(
+        lambda: simulate_query_hit_rate(128, 512, 1, mu=8, max_rows=32),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_simulate_batch128(benchmark):
+    """Address-stream replay at batch 128 (tables spill)."""
+    benchmark.pedantic(
+        lambda: simulate_query_hit_rate(128, 512, 128, mu=8, max_rows=32),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_simulate_large_l2_like_cache(benchmark):
+    """Same stream against a 256KB cache (spill point moves out)."""
+    big = CacheConfig(size_bytes=256 * 1024, line_bytes=64, ways=8)
+    benchmark.pedantic(
+        lambda: simulate_query_hit_rate(
+            128, 512, 64, mu=8, cache=big, max_rows=32
+        ),
+        rounds=3,
+        iterations=1,
+    )

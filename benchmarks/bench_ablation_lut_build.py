@@ -1,0 +1,43 @@
+"""Ablation: LUT construction scheme (paper Eq. 6 vs T_c,mm, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.lut import build_tables_dp, build_tables_gemm, reshape_input
+
+
+def test_lut_build_artifact(benchmark, artifact_dir):
+    """Regenerate the DP-vs-GEMM builder comparison."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("lut_build"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "lut_build", tables)
+    # The analytic op ratio must sit below mu but above mu/2.
+    for row in tables[0].rows:
+        mu, ratio = row[0], row[5]
+        assert mu / 2 < ratio < mu
+
+
+@pytest.fixture()
+def xhat(rng):
+    x = rng.standard_normal((128 * 8, 32)).astype(np.float32)
+    return reshape_input(x, 8)
+
+
+def test_build_dp(benchmark, xhat):
+    """Algorithm 1 dynamic programming (with half-table symmetry)."""
+    benchmark(lambda: build_tables_dp(xhat))
+
+
+def test_build_dp_nosym(benchmark, xhat):
+    """Doubling DP without the lines 8-9 symmetry."""
+    benchmark(lambda: build_tables_dp(xhat, use_symmetry=False))
+
+
+def test_build_gemm(benchmark, xhat):
+    """Fig. 4(a) batched-GEMM construction (mu-fold more arithmetic,
+    but BLAS-shaped -- the faster choice on this substrate)."""
+    benchmark(lambda: build_tables_gemm(xhat))

@@ -1,0 +1,29 @@
+"""Ablation: LUT-unit mu (paper Section IV-A's mu=8 choice)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import random_binary, write_artifact
+from repro.core.kernel import BiQGemm
+
+
+def test_mu_artifact(benchmark, artifact_dir):
+    """Regenerate the analytic + measured mu sweep."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("mu"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "mu", tables)
+    analytic = tables[0]
+    # Paper claim: best mu lies in [7, 10] across the evaluated sizes.
+    for row in analytic.rows:
+        assert 7 <= row[1] <= 10
+
+
+@pytest.mark.parametrize("mu", [2, 4, 8, 12])
+def test_matmul_vs_mu(benchmark, rng, mu):
+    """Kernel wall clock at m=1024, n=1024, b=8 across mu values."""
+    engine = BiQGemm.from_binary(random_binary(rng, (1024, 1024)), mu=mu)
+    x = rng.standard_normal((1024, 8)).astype(np.float32)
+    benchmark.pedantic(lambda: engine.matmul(x), rounds=5, iterations=1)

@@ -1,0 +1,48 @@
+"""Ablation: query gather strategy ('flat' single fancy-index vs
+'loop' per-group row gathers).
+
+The kernel's ``query_impl='auto'`` heuristic (flat only for near-GEMV
+batches) was derived from exactly this comparison.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import random_binary
+from repro.core.kernel import BiQGemm
+
+
+@pytest.fixture()
+def engines(rng):
+    engine = BiQGemm.from_binary(random_binary(rng, (2048, 1024)), mu=8)
+    x1 = rng.standard_normal((1024, 1)).astype(np.float32)
+    x32 = rng.standard_normal((1024, 32)).astype(np.float32)
+    return engine, x1, x32
+
+
+def test_flat_b1(benchmark, engines):
+    """flat gather at batch 1 -- the shape it wins."""
+    engine, x1, _ = engines
+    benchmark(lambda: engine.matmul(x1, query_impl="flat"))
+
+
+def test_loop_b1(benchmark, engines):
+    """loop gather at batch 1."""
+    engine, x1, _ = engines
+    benchmark(lambda: engine.matmul(x1, query_impl="loop"))
+
+
+def test_flat_b32(benchmark, engines):
+    """flat gather at batch 32 -- the shape it loses badly."""
+    engine, _, x32 = engines
+    benchmark.pedantic(
+        lambda: engine.matmul(x32, query_impl="flat"), rounds=3, iterations=1
+    )
+
+
+def test_loop_b32(benchmark, engines):
+    """loop gather at batch 32."""
+    engine, _, x32 = engines
+    benchmark.pedantic(
+        lambda: engine.matmul(x32, query_impl="loop"), rounds=5, iterations=1
+    )

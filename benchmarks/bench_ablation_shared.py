@@ -1,0 +1,48 @@
+"""Ablation: shared-input LUT reuse (fused QKV) -- extension bench."""
+
+import numpy as np
+
+from benchmarks.conftest import random_binary, write_artifact
+from repro.core.group import BiQGemmGroup
+from repro.core.kernel import BiQGemm
+
+
+def test_shared_artifact(benchmark, artifact_dir):
+    """Regenerate the fused-vs-separate comparison."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("shared"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "shared", tables)
+    # Fusion must never lose: speedup >= ~1 at every shape.
+    for row in tables[0].rows:
+        assert row[4] > 0.9
+
+
+def _qkv(rng, n=1024):
+    engines = [
+        BiQGemm.from_binary(random_binary(rng, (n, n)), mu=8)
+        for _ in range(3)
+    ]
+    x = rng.standard_normal((n, 8)).astype(np.float32)
+    return engines, x
+
+
+def test_separate_qkv(benchmark, rng):
+    """Three independent multiplies (tables rebuilt three times)."""
+    engines, x = _qkv(rng)
+    benchmark.pedantic(
+        lambda: [e.matmul(x, builder="dp") for e in engines],
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_fused_qkv(benchmark, rng):
+    """Fused group (tables built once, queried three times)."""
+    engines, x = _qkv(rng)
+    group = BiQGemmGroup(engines)
+    benchmark.pedantic(
+        lambda: group.matmul_shared(x, builder="dp"), rounds=5, iterations=1
+    )

@@ -1,0 +1,34 @@
+"""Ablation: thread scaling (paper Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import random_binary, write_artifact
+from repro.core.kernel import BiQGemm
+from repro.core.tiling import TileConfig
+
+
+def test_threads_artifact(benchmark, artifact_dir):
+    """Regenerate the measured + modelled thread-scaling table."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("threads"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "threads", tables)
+    # Cost model must show near-linear scaling (the paper's claim).
+    model_speedups = [row[6] for row in tables[0].rows]
+    assert model_speedups[-1] > 2.0
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_matmul_threads(benchmark, rng, threads):
+    """Kernel wall clock vs worker threads (m=4096, n=1024, b=32)."""
+    engine = BiQGemm.from_binary(random_binary(rng, (4096, 1024)), mu=8)
+    x = rng.standard_normal((1024, 32)).astype(np.float32)
+    tiles = TileConfig(tile_m=256, tile_g=128)
+    benchmark.pedantic(
+        lambda: engine.matmul(x, threads=threads, tiles=tiles),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,47 @@
+"""Ablation: LUT-stationary tile shapes (paper Algorithm 2 / Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import random_binary, write_artifact
+from repro.core.kernel import BiQGemm
+from repro.core.tiling import TileConfig
+
+
+def test_tiling_artifact(benchmark, artifact_dir):
+    """Regenerate the tile-shape sweep."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("tiling"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "tiling", tables)
+    assert tables[0].rows
+
+
+@pytest.fixture()
+def problem(rng):
+    engine = BiQGemm.from_binary(random_binary(rng, (2048, 1024)), mu=8)
+    x = rng.standard_normal((1024, 32)).astype(np.float32)
+    return engine, x
+
+
+def test_single_tile(benchmark, problem):
+    """One tile covering the whole key matrix."""
+    engine, x = problem
+    tiles = TileConfig(tile_m=2048, tile_g=128)
+    benchmark.pedantic(lambda: engine.matmul(x, tiles=tiles), rounds=5, iterations=1)
+
+
+def test_row_tiled(benchmark, problem):
+    """Row tiles of 256 (the threaded execution granularity)."""
+    engine, x = problem
+    tiles = TileConfig(tile_m=256, tile_g=128)
+    benchmark.pedantic(lambda: engine.matmul(x, tiles=tiles), rounds=5, iterations=1)
+
+
+def test_group_tiled(benchmark, problem):
+    """Group tiles of 16 (SRAM-constrained shape)."""
+    engine, x = problem
+    tiles = TileConfig(tile_m=2048, tile_g=16)
+    benchmark.pedantic(lambda: engine.matmul(x, tiles=tiles), rounds=5, iterations=1)

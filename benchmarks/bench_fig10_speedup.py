@@ -1,0 +1,54 @@
+"""Fig. 10 bench: BiQGEMM vs float GEMM speedups (model + host)."""
+
+import numpy as np
+
+from benchmarks.conftest import random_binary, write_artifact
+from repro.core.kernel import BiQGemm
+from repro.gemm.sgemm import sgemm
+
+
+def test_fig10_artifact(benchmark, artifact_dir):
+    """Regenerate Fig. 10 and check the headline crossovers."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("fig10"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "fig10", tables)
+    model = tables[0]
+    cells = {
+        (r[0], r[1], r[2]): (r[3], r[4], r[5]) for r in model.rows
+    }
+    # PC 3-bit loses beyond batch 128; 1-bit always wins.
+    assert cells[("pc", 1024, 256)][2] < 1.0
+    assert cells[("pc", 1024, 1)][0] > 1.0
+    # Mobile keeps larger speedups than PC at every matched cell.
+    assert cells[("mobile", 4096, 1)][0] > cells[("pc", 4096, 1)][0]
+
+
+def test_host_biqgemm_1bit_gemv(benchmark, rng):
+    """BiQGEMM 1-bit GEMV (m=2048, n=1024, b=1) on this host."""
+    engine = BiQGemm.from_binary(random_binary(rng, (2048, 1024)), mu=8)
+    x = rng.standard_normal((1024, 1)).astype(np.float32)
+    benchmark(lambda: engine.matmul(x))
+
+
+def test_host_blas_gemv(benchmark, rng):
+    """Float BLAS GEMV at the same shape (the Eigen stand-in)."""
+    dense = random_binary(rng, (2048, 1024)).astype(np.float32)
+    x = rng.standard_normal((1024, 1)).astype(np.float32)
+    benchmark(lambda: sgemm(dense, x))
+
+
+def test_host_biqgemm_3bit_b32(benchmark, rng):
+    """BiQGEMM 3-bit at batch 32 (the regime where GEMM catches up)."""
+    engine = BiQGemm.from_binary(random_binary(rng, (3, 2048, 1024)), mu=8)
+    x = rng.standard_normal((1024, 32)).astype(np.float32)
+    benchmark.pedantic(lambda: engine.matmul(x), rounds=5, iterations=1)
+
+
+def test_host_blas_b32(benchmark, rng):
+    """Float BLAS at batch 32."""
+    dense = random_binary(rng, (2048, 1024)).astype(np.float32)
+    x = rng.standard_normal((1024, 32)).astype(np.float32)
+    benchmark(lambda: sgemm(dense, x))

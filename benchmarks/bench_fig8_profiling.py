@@ -1,0 +1,58 @@
+"""Fig. 8 bench: build/query/replace phase breakdown of BiQGEMM."""
+
+import numpy as np
+
+from benchmarks.conftest import random_binary, write_artifact
+from repro.core.kernel import BiQGemm
+from repro.core.profiling import PhaseProfiler
+
+
+def test_fig8_artifact(benchmark, artifact_dir):
+    """Regenerate the full Fig. 8 phase-proportion grid."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("fig8"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "fig8", tables)
+    # Shape claim: query share at the largest m exceeds that at the
+    # smallest m (per n group).
+    rows = tables[0].rows
+    first_n = rows[0][0]
+    group = [r for r in rows if r[0] == first_n]
+    assert group[-1][3] > group[0][3]
+
+
+def _profiled_matmul(rng, m, n, b):
+    engine = BiQGemm.from_binary(random_binary(rng, (m, n)), mu=8)
+    x = rng.standard_normal((n, b)).astype(np.float32)
+    prof = PhaseProfiler()
+
+    def run():
+        engine.matmul(x, builder="dp", profiler=prof)
+
+    return run
+
+
+def test_profiled_matmul_small_m(benchmark, rng):
+    """Profiled kernel at m=512 (build share highest here)."""
+    benchmark.pedantic(
+        _profiled_matmul(rng, 512, 1024, 32), rounds=5, iterations=1
+    )
+
+
+def test_profiled_matmul_large_m(benchmark, rng):
+    """Profiled kernel at m=4096 (query-dominated)."""
+    benchmark.pedantic(
+        _profiled_matmul(rng, 4096, 1024, 32), rounds=3, iterations=1
+    )
+
+
+def test_profiler_overhead(benchmark, rng):
+    """Unprofiled kernel at m=512 -- the delta to the profiled run
+    bounds the instrumentation overhead."""
+    engine = BiQGemm.from_binary(random_binary(rng, (512, 1024)), mu=8)
+    x = rng.standard_normal((1024, 32)).astype(np.float32)
+    benchmark.pedantic(
+        lambda: engine.matmul(x, builder="dp"), rounds=5, iterations=1
+    )

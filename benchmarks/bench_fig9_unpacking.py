@@ -1,0 +1,58 @@
+"""Fig. 9 bench: packed-weight GEMM scenarios (unpacking overhead)."""
+
+import numpy as np
+
+from benchmarks.conftest import random_binary, write_artifact
+from repro.gemm.packed import gemm_with_unpack, gemm_without_unpack
+from repro.gemm.sgemm import sgemm
+from repro.quant.packing import pack_bits
+
+
+def test_fig9_artifact(benchmark, artifact_dir):
+    """Regenerate Fig. 9 (measured + modelled) and check the ordering."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("fig9"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "fig9", tables)
+    # Modelled rows must show without < container < with (cols 3..5).
+    for row in tables[1].rows:
+        t_no = float(row[3].rstrip("mus"))
+        t_sg = float(row[4].rstrip("mus"))
+        t_un = float(row[5].rstrip("mus"))
+        assert t_no < t_sg < t_un
+
+
+def _fig9_setup(rng, size=1024, b=64):
+    binary = random_binary(rng, (size, size))
+    x = rng.standard_normal((size, b)).astype(np.float32)
+    return binary, pack_bits(binary), x
+
+
+def test_scenario_without_unpack(benchmark, rng):
+    """'w/o unpack' bandwidth probe (wrong values by design)."""
+    _, packed, x = _fig9_setup(rng)
+    benchmark(lambda: gemm_without_unpack(packed, x))
+
+
+def test_scenario_sgemm_container(benchmark, rng):
+    """'sGEMM': one quantized weight per 32-bit container."""
+    binary, _, x = _fig9_setup(rng)
+    dense = binary.astype(np.float32)
+    benchmark(lambda: sgemm(dense, x))
+
+
+def test_scenario_with_unpack(benchmark, rng):
+    """'w/ unpack': Algorithm 3 decode then GEMM (the paper's point:
+    this is slower than never packing at all)."""
+    _, packed, x = _fig9_setup(rng)
+    benchmark.pedantic(lambda: gemm_with_unpack(packed, x), rounds=5, iterations=1)
+
+
+def test_unpack_alone(benchmark, rng):
+    """The unpack step in isolation."""
+    from repro.quant.packing import unpack_bits
+
+    _, packed, _ = _fig9_setup(rng)
+    benchmark(lambda: unpack_bits(packed))

@@ -1,0 +1,38 @@
+"""Section II-C motivation: per-model end-to-end GEMM costs."""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.nn.linear import QuantSpec
+from repro.nn.model_zoo import build_encoder
+
+
+def test_models_artifact(benchmark, artifact_dir):
+    """Regenerate the per-model cost/footprint table."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("models"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "models", tables)
+    # Quantized keys must be >10x smaller than fp32 for every model.
+    headers = list(tables[0].headers)
+    fp32_i, keys_i = headers.index("fp32 MB"), headers.index("keys MB")
+    for row in tables[0].rows:
+        assert row[fp32_i] / row[keys_i] > 10
+
+
+def test_scaled_encoder_forward_float(benchmark, rng):
+    """Float forward of a 1/8-width Transformer-base (2 layers)."""
+    enc = build_encoder("transformer-base", scale=8, layers=2)
+    x = rng.standard_normal((2, 18, enc.config.dim))
+    benchmark.pedantic(lambda: enc(x), rounds=3, iterations=1)
+
+
+def test_scaled_encoder_forward_biqgemm(benchmark, rng):
+    """Same encoder with all projections on 3-bit BiQGEMM."""
+    enc = build_encoder(
+        "transformer-base", scale=8, layers=2, spec=QuantSpec(bits=3, mu=8)
+    )
+    x = rng.standard_normal((2, 18, enc.config.dim))
+    benchmark.pedantic(lambda: enc(x), rounds=3, iterations=1)

@@ -1,0 +1,29 @@
+"""QAT vs PTQ bench (paper reference [48], Table I's retraining)."""
+
+from benchmarks.conftest import write_artifact
+from repro.train.data import make_teacher_task
+from repro.train.qat import train_qat
+
+
+def test_qat_artifact(benchmark, artifact_dir):
+    """Regenerate the QAT-vs-PTQ comparison."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("qat"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "qat", tables)
+    by_bits = {r[0]: r for r in tables[0].rows}
+    # Checkpoint selection starts from the PTQ point: QAT can never be
+    # worse, and must strictly improve somewhere in the sweep.
+    for row in by_bits.values():
+        assert row[3] >= row[2]
+    assert any(row[3] > row[2] for row in by_bits.values())
+
+
+def test_qat_training_throughput(benchmark):
+    """One short distortion-training run (offline cost of QAT)."""
+    task = make_teacher_task(train_n=1000, test_n=200)
+    benchmark.pedantic(
+        lambda: train_qat(task, bits=2, epochs=4), rounds=1, iterations=1
+    )

@@ -1,0 +1,27 @@
+"""Table II bench: memory-footprint model (exact reproduction)."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.paper_data import TABLE2_PAPER_TOTALS
+from repro.hw.memory import memory_usage, table2_rows
+
+
+def test_table2_artifact(benchmark, artifact_dir):
+    """Regenerate Table II and assert exact agreement with the paper."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("table2"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "table2", tables)
+    for row in table2_rows():
+        paper = TABLE2_PAPER_TOTALS[(row["w_bits"], row["a_bits"])]
+        assert row["total_mb"] == pytest.approx(paper, abs=5e-4)
+
+
+def test_memory_model_throughput(benchmark):
+    """The footprint model itself (trivially cheap, recorded for scale)."""
+    benchmark(
+        lambda: memory_usage(4096, 16384, 256, weight_bits=3, act_bits=32)
+    )

@@ -1,0 +1,69 @@
+"""Table IV bench: modelled V100 grid + host kernels at Table IV shapes.
+
+The modelled table is the Table IV reproduction (shape claims tested in
+tests/hw/test_costmodel.py); the wall-clock benchmarks run the actual
+numpy engines at the two extreme Table IV corners on this host.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import random_binary, write_artifact
+from repro.core.kernel import BiQGemm
+from repro.gemm.sgemm import sgemm
+from repro.gemm.xnor import XnorGemm
+
+
+def test_table4_artifact(benchmark, artifact_dir):
+    """Regenerate the full modelled-vs-paper Table IV grid."""
+    from repro.bench.registry import run_experiment
+
+    tables = benchmark.pedantic(
+        lambda: run_experiment("table4"), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "table4", tables)
+    assert len(tables[0].rows) == 16  # 4 sizes x 4 batches
+
+
+def _setup(rng, n, b):
+    binary = random_binary(rng, (n, n))
+    x = rng.standard_normal((n, b)).astype(np.float32)
+    return binary, x
+
+
+def test_biqgemm_512_b1(benchmark, rng):
+    """BiQGEMM, n=m=512, batch 1 (Table IV's smallest corner)."""
+    binary, x = _setup(rng, 512, 1)
+    engine = BiQGemm.from_binary(binary, mu=8)
+    benchmark(lambda: engine.matmul(x))
+
+
+def test_biqgemm_2048_b32(benchmark, rng):
+    """BiQGEMM, n=m=2048, batch 32."""
+    binary, x = _setup(rng, 2048, 32)
+    engine = BiQGemm.from_binary(binary, mu=8)
+    benchmark.pedantic(lambda: engine.matmul(x), rounds=5, iterations=1)
+
+
+def test_sgemm_512_b1(benchmark, rng):
+    """Dense BLAS (cuBLAS stand-in), n=m=512, batch 1."""
+    binary, x = _setup(rng, 512, 1)
+    dense = binary.astype(np.float32)
+    benchmark(lambda: sgemm(dense, x))
+
+
+def test_sgemm_2048_b32(benchmark, rng):
+    """Dense BLAS, n=m=2048, batch 32."""
+    binary, x = _setup(rng, 2048, 32)
+    dense = binary.astype(np.float32)
+    benchmark.pedantic(lambda: sgemm(dense, x), rounds=5, iterations=1)
+
+
+def test_xnor_512_b32(benchmark, rng):
+    """XNOR-popcount GEMM, n=m=512, batch 32, 1-bit both sides."""
+    binary, x = _setup(rng, 512, 32)
+    engine = XnorGemm(binary)
+    benchmark.pedantic(
+        lambda: engine.matmul(x.astype(np.float64), a_bits=1),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,74 @@
+"""Explore the simulated-hardware cost model.
+
+Runs instantly::
+
+    python examples/cost_model_explorer.py
+
+Prints roofline breakdowns (compute vs memory vs overhead) for every
+engine on the paper's three machines, then sweeps batch size to locate
+the BiQGEMM-vs-GEMM crossover the paper discusses in Fig. 10 -- useful
+for asking "what if" questions the paper's fixed testbed cannot
+(e.g. how would a 2x-bandwidth phone change the picture?).
+"""
+
+from dataclasses import replace
+
+from repro.hw.costmodel import estimate_biqgemm, estimate_gemm, estimate_xnor
+from repro.hw.machine import MACHINES, MachineConfig
+
+
+def breakdown(machine: MachineConfig, m: int, n: int, b: int) -> None:
+    print(f"\n{machine.name}: {m}x{n} weights, batch {b}, 1-bit")
+    rows = [
+        ("BiQGEMM", estimate_biqgemm(machine, m, n, b, bits=1)),
+        ("BLAS GEMM", estimate_gemm(machine, m, n, b)),
+        ("naive GEMM", estimate_gemm(machine, m, n, b, engine="naive")),
+        ("XNOR", estimate_xnor(machine, m, n, b)),
+    ]
+    for name, est in rows:
+        print(
+            f"  {name:10s}: {est.seconds * 1e6:9.1f} us "
+            f"(compute {est.compute_seconds * 1e6:8.1f}, "
+            f"memory {est.memory_seconds * 1e6:8.1f}, "
+            f"overhead {est.overhead_seconds * 1e6:5.1f}) "
+            f"[{est.bound}-bound]"
+        )
+
+
+def find_crossover(machine: MachineConfig, m: int, n: int, bits: int) -> int:
+    """Smallest batch at which float GEMM overtakes bits-bit BiQGEMM."""
+    for b in range(1, 2049):
+        gemm = estimate_gemm(machine, m, n, b).seconds
+        biq = estimate_biqgemm(machine, m, n, b, bits=bits).seconds
+        if gemm < biq:
+            return b
+    return -1
+
+
+def main() -> None:
+    for key in ("pc", "mobile", "v100"):
+        breakdown(MACHINES[key], 2048, 2048, 32)
+
+    print("\nBiQGEMM->GEMM crossover batch (m=n=1024, cost model):")
+    for key in ("pc", "mobile"):
+        machine = MACHINES[key]
+        for bits in (1, 2, 3):
+            b = find_crossover(machine, 1024, 1024, bits)
+            label = str(b) if b > 0 else ">2048"
+            print(f"  {key:6s} {bits}-bit: batch {label}")
+
+    # What-if: a future phone with twice the memory bandwidth.
+    mobile = MACHINES["mobile"]
+    fat_pipe = replace(mobile, name="Mobile 2x BW", bandwidth=2 * mobile.bandwidth)
+    print("\nwhat-if: doubling mobile DRAM bandwidth")
+    for mc in (mobile, fat_pipe):
+        gemm = estimate_gemm(mc, 4096, 1024, 1).seconds
+        biq = estimate_biqgemm(mc, 4096, 1024, 1, bits=1).seconds
+        print(
+            f"  {mc.name:14s}: GEMV {gemm * 1e3:6.2f} ms, "
+            f"BiQGEMM {biq * 1e3:6.2f} ms -> speedup {gemm / biq:.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

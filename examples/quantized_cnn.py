@@ -1,0 +1,78 @@
+"""Quantized CNN forward pass via im2col + BiQGEMM.
+
+Runs in under a minute::
+
+    python examples/quantized_cnn.py
+
+The BCQ literature the paper builds on (XNOR-Net, network sketching)
+targets CNNs; this example runs a small conv stack on synthetic images
+with all convolutions lowered to BiQGEMM, and shows why the paper's own
+evaluation focuses on NLP: im2col turns the spatial extent into a large
+effective batch, the regime where GEMM catches back up (Fig. 10's right
+edge).
+"""
+
+import numpy as np
+
+from repro.hw.costmodel import estimate_biqgemm, estimate_gemm
+from repro.hw.machine import MACHINES
+from repro.nn.conv import QuantConv2d, conv2d_gemm
+from repro.nn.functional import relu
+from repro.nn.linear import QuantSpec
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    images = rng.standard_normal((4, 3, 32, 32))  # 4 RGB 32x32 images
+
+    # Three conv layers: 3->16->32 channels, then 1x1 projection.
+    shapes = [(16, 3, 3, 3), (32, 16, 3, 3), (8, 32, 1, 1)]
+    float_ws = [rng.standard_normal(s) / np.sqrt(np.prod(s[1:])) for s in shapes]
+    spec = QuantSpec(bits=3, mu=8, method="alternating")
+    quant_layers = [
+        QuantConv2d(w, stride=1, pad=(w.shape[-1] // 2), spec=spec)
+        for w in float_ws
+    ]
+
+    def forward_float(x):
+        for w in float_ws:
+            x = relu(conv2d_gemm(x, w, stride=1, pad=w.shape[-1] // 2))
+        return x
+
+    def forward_quant(x):
+        for layer in quant_layers:
+            x = relu(layer(x))
+        return x
+
+    y_f = forward_float(images)
+    y_q = forward_quant(images)
+    rel = np.linalg.norm(y_f - y_q) / np.linalg.norm(y_f)
+    print(f"conv stack output: {y_q.shape}, 3-bit rel error {rel:.4f}")
+
+    fp32 = sum(w.size * 4 for w in float_ws)
+    keys = sum(layer.weight_nbytes for layer in quant_layers)
+    print(f"conv weights: fp32 {fp32 / 1e3:.1f} KB -> keys {keys / 1e3:.1f} KB "
+          f"({fp32 / keys:.1f}x smaller)\n")
+
+    # Why the paper evaluates NLP: the conv's effective GEMM batch is
+    # N*oh*ow.  Price the middle layer's GEMM on the PC config.
+    oc, ic, kh, kw = shapes[1]
+    m, n = oc, ic * kh * kw
+    eff_batch = images.shape[0] * 32 * 32
+    pc = MACHINES["pc"]
+    t_gemm = estimate_gemm(pc, m, n, eff_batch).seconds
+    t_biq = estimate_biqgemm(pc, m, n, eff_batch, bits=3).seconds
+    print(
+        f"conv2 as GEMM: ({m} x {n}) @ batch {eff_batch} -> cost model "
+        f"GEMM {t_gemm * 1e3:.2f} ms vs BiQGEMM {t_biq * 1e3:.2f} ms "
+        f"(speedup {t_gemm / t_biq:.2f}x)"
+    )
+    print(
+        "large effective batch puts convolutions in the compute-bound "
+        "regime where the paper shows GEMM recovering -- the reason its "
+        "evaluation targets few-batch NLP inference."
+    )
+
+
+if __name__ == "__main__":
+    main()

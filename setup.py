@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` (and the
+legacy ``python setup.py develop``) works in offline environments whose
+setuptools predates bundled wheel support.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""BiQGEMM reproduction: lookup-table GEMM for binary-coding-quantized DNNs.
+
+This package reimplements the system described in
+
+    Jeon, Park, Kwon, Kim, Yun, Lee.
+    "BiQGEMM: Matrix Multiplication with Lookup Table For
+    Binary-Coding-based Quantized DNNs", SC 2020.
+
+Public API overview
+-------------------
+``repro.core``
+    The paper's contribution: the :class:`~repro.core.kernel.BiQGemm`
+    engine (offline key compilation, dynamic-programming LUT build,
+    LUT-stationary tiled query) plus autotuning and phase profiling.
+``repro.quant``
+    Binary-coding quantization (1-bit, greedy and alternating multi-bit),
+    uniform quantization, bit packing, and error metrics.
+``repro.gemm``
+    Baseline engines: float BLAS GEMM, naive reference GEMM, packed GEMM
+    with/without unpacking, and XNOR-popcount GEMM.
+``repro.hw``
+    Simulated hardware substrate: the paper's Table III machine
+    configurations, a roofline cost model, the Table II memory model and
+    an operation-counting simulator.
+``repro.nn``
+    Inference-only DNN layers (linear, attention, Transformer, LSTM) that
+    can be backed by any of the matmul engines.
+``repro.train``
+    A tiny numpy training substrate used for the Table I accuracy proxy.
+``repro.bench``
+    The experiment registry and CLI that regenerate every table and
+    figure of the paper's evaluation section.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import BiQGemm
+>>> rng = np.random.default_rng(0)
+>>> W = rng.standard_normal((1024, 512)).astype(np.float32)
+>>> X = rng.standard_normal((512, 8)).astype(np.float32)
+>>> engine = BiQGemm.from_float(W, bits=3, mu=8)
+>>> Y = engine.matmul(X)           # approximately W @ X
+>>> Y.shape
+(1024, 8)
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel import BiQGemm
+from repro.core.autotune import analytic_mu
+from repro.quant.bcq import bcq_quantize, BCQTensor
+from repro.quant.uniform import uniform_quantize
+from repro.hw.machine import MachineConfig, MACHINES
+from repro.hw.costmodel import estimate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiQGemm",
+    "analytic_mu",
+    "bcq_quantize",
+    "BCQTensor",
+    "uniform_quantize",
+    "MachineConfig",
+    "MACHINES",
+    "estimate",
+    "__version__",
+]

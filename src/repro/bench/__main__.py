@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` dispatches to the CLI."""
+
+from repro.bench.cli import main
+
+raise SystemExit(main())

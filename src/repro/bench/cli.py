@@ -1,0 +1,84 @@
+"""Command line for the experiment harness.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench table4
+    python -m repro.bench all --quick --out results/
+
+``all`` runs every registered experiment; ``--out`` additionally writes
+one ``<experiment>.txt`` artifact per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.bench.report import render_table
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the BiQGEMM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id, 'all', or 'list' "
+        f"(ids: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink sweeps for a fast smoke run",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write per-experiment .txt artifacts",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="append ASCII charts for experiments that support them "
+        "(currently fig10)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        try:
+            tables = run_experiment(name, quick=args.quick)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        text = "\n".join(render_table(t) for t in tables)
+        if args.plot and name == "fig10":
+            from repro.bench.registry import fig10_chart
+
+            charts = [fig10_chart("pc"), fig10_chart("mobile", m=4096)]
+            text = text + "\n" + "\n".join(charts)
+        print(text)
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""ASCII series plots for the experiment harness.
+
+The paper's Fig. 10 is a bar/line chart; in a terminal-only environment
+the closest faithful rendering is a character plot.  Used by the CLI's
+``fig10`` output and by ``examples/cost_model_explorer.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_series"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_series(
+    title: str,
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render named numeric series against shared x positions.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    x_labels:
+        One label per x position (prints under the axis).
+    series:
+        Ordered mapping name -> values; all must match ``len(x_labels)``.
+    height:
+        Plot rows (y resolution).
+    y_label:
+        Optional y-axis annotation.
+
+    Returns the chart as a multi-line string.
+    """
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    if not series:
+        raise ValueError("series must be non-empty")
+    n = len(x_labels)
+    if n == 0:
+        raise ValueError("x_labels must be non-empty")
+    for name, values in series.items():
+        if len(values) != n:
+            raise ValueError(
+                f"series {name!r} has {len(values)} values, expected {n}"
+            )
+    all_values = [v for values in series.values() for v in values]
+    lo = min(all_values)
+    hi = max(all_values)
+    span = hi - lo if hi > lo else 1.0
+
+    col_width = 6
+    grid = [[" "] * (n * col_width) for _ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for xi, v in enumerate(values):
+            row = int(round((v - lo) / span * (height - 1)))
+            grid[height - 1 - row][xi * col_width + col_width // 2] = marker
+
+    lines = [title]
+    for r, row in enumerate(grid):
+        y_val = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{y_val:9.3g} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * (n * col_width))
+    xticks = " " * 11
+    for lbl in x_labels:
+        xticks += str(lbl).center(col_width)
+    lines.append(xticks)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"  legend: {legend}")
+    if y_label:
+        lines.append(f"  y: {y_label}")
+    return "\n".join(lines) + "\n"

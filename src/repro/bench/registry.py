@@ -1,0 +1,703 @@
+"""One function per paper table/figure, plus the DESIGN.md ablations.
+
+Each experiment returns a list of :class:`~repro.bench.report.Table`.
+``quick=True`` shrinks sweeps for CI-speed runs; the full settings match
+the paper's parameter grids (see DESIGN.md Section 4 for the index).
+
+Two kinds of numbers appear side by side:
+
+- **model** -- predictions of the roofline cost model standing in for
+  the paper's hardware (Table IV, Fig. 9/10 shapes);
+- **measured** -- wall-clock seconds of the numpy kernels on the host
+  running this reproduction (honest, but a different instrument than
+  the paper's C++/CUDA testbed; EXPERIMENTS.md discusses the gap).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.paper_data import TABLE1_PAPER, TABLE2_PAPER_TOTALS, TABLE4_PAPER
+from repro.bench.report import Table
+from repro.bench.runner import time_callable
+from repro.core.autotune import analytic_cost_ratio, analytic_mu
+from repro.core.kernel import BiQGemm
+from repro.core.lut import (
+    build_tables_dp,
+    build_tables_gemm,
+    dp_flop_count,
+    gemm_build_flop_count,
+    reshape_input,
+)
+from repro.core.profiling import PhaseProfiler
+from repro.core.tiling import TileConfig, lut_tile_bytes
+from repro.gemm.packed import gemm_with_unpack, gemm_without_unpack
+from repro.gemm.sgemm import sgemm
+from repro.hw.costmodel import (
+    estimate_biqgemm,
+    estimate_gemm,
+    estimate_packed_gemm,
+    estimate_xnor,
+)
+from repro.hw.machine import MACHINES
+from repro.hw.memory import table2_rows
+from repro.quant.packing import pack_bits
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+
+def _random_binary(rng: np.random.Generator, shape) -> np.ndarray:
+    return rng.choice(np.array([-1, 1], dtype=np.int8), size=shape)
+
+
+# ----------------------------------------------------------------------
+# Table I -- quantization quality
+# ----------------------------------------------------------------------
+def table1(quick: bool = False) -> list[Table]:
+    """Quantization quality: paper BLEU table + this repo's two proxies."""
+    from repro.train.experiment import accuracy_vs_bits, weight_sqnr_sweep
+
+    paper = Table(
+        "Table I (paper): Transformer En-De BLEU after quantization",
+        ["ref", "scheme", "W bits", "A bits", "BLEU", "delta"],
+        notes=["transcribed from the paper for comparison"],
+    )
+    for row in TABLE1_PAPER:
+        paper.add_row(*row)
+
+    sqnr = Table(
+        "Table I proxy (a): weight reconstruction SQNR on Gaussian "
+        "Transformer-shaped matrices",
+        ["shape", "scheme", "bits", "SQNR (dB)"],
+        notes=[
+            "substitute for BLEU: higher SQNR ~ smaller accuracy drop",
+            "expected shape: BCQ gains ~3-6 dB/bit; alternating >= greedy",
+        ],
+    )
+    shapes = ((512, 512),) if quick else ((512, 512), (2048, 512))
+    bits = (1, 2, 3, 4) if quick else (1, 2, 3, 4, 6, 8)
+    for row in weight_sqnr_sweep(shapes=shapes, bits_list=bits):
+        sqnr.add_row(row["shape"], row["scheme"], row["bits"], row["sqnr_db"])
+
+    acc = Table(
+        "Table I proxy (b): student-classifier accuracy after "
+        "post-training weight quantization",
+        ["scheme", "bits", "accuracy", "drop"],
+        notes=[
+            "substitute for BLEU on a numpy-trainable task (DESIGN.md S2)",
+            "expected shape: >=3-bit BCQ near-lossless, 1-bit collapses",
+        ],
+    )
+    baseline, rows = accuracy_vs_bits(
+        bits_list=bits, epochs=10 if quick else 25
+    )
+    acc.notes.append(f"float32 baseline accuracy = {baseline:.3f}")
+    for row in rows:
+        acc.add_row(row.scheme, row.bits, row.accuracy, row.drop)
+    return [paper, sqnr, acc]
+
+
+# ----------------------------------------------------------------------
+# Table II -- memory usage
+# ----------------------------------------------------------------------
+def table2(quick: bool = False) -> list[Table]:
+    """Memory usage for a 512x512 layer at batch 18 (exact reproduction)."""
+    del quick
+    table = Table(
+        "Table II: memory usage (512x512 weights, batch 18)",
+        ["W bits", "A bits", "O bits", "W MB", "I MB", "O MB", "total MB",
+         "paper MB"],
+        notes=["MB = bytes / 1e6, following the paper's convention"],
+    )
+    for row in table2_rows():
+        paper_total = TABLE2_PAPER_TOTALS[(row["w_bits"], row["a_bits"])]
+        table.add_row(
+            row["w_bits"],
+            row["a_bits"],
+            row["o_bits"],
+            row["weights_mb"],
+            row["inputs_mb"],
+            row["outputs_mb"],
+            row["total_mb"],
+            paper_total,
+        )
+    return [table]
+
+
+# ----------------------------------------------------------------------
+# Table III -- machine configurations
+# ----------------------------------------------------------------------
+def table3(quick: bool = False) -> list[Table]:
+    """The simulated machines (paper Table III parameters)."""
+    del quick
+    table = Table(
+        "Table III: simulated machine configurations",
+        ["machine", "units", "SIMD", "L1D/unit", "DRAM GB/s",
+         "GFLOPS/unit", "GFLOPS total"],
+        notes=["V100 FLOPS interpreted per-SM x 80 SMs (see machine.py)"],
+    )
+    for key, mc in MACHINES.items():
+        table.add_row(
+            f"{key} ({mc.name})",
+            mc.units,
+            mc.simd_lanes,
+            f"{mc.l1d_bytes // 1024}KB",
+            mc.bandwidth / 1e9,
+            mc.flops_per_unit / 1e9,
+            mc.flops_total / 1e9,
+        )
+    return [table]
+
+
+# ----------------------------------------------------------------------
+# Table IV -- GPU runtime comparison (cost model vs paper)
+# ----------------------------------------------------------------------
+def table4(quick: bool = False) -> list[Table]:
+    """V100 runtimes: BiQGEMM vs kGpu vs cuBLAS vs XNOR (1-bit weights)."""
+    v100 = MACHINES["v100"]
+    table = Table(
+        "Table IV: modelled V100 runtime (usec) vs paper, 1-bit weights",
+        ["n=m", "batch",
+         "BiQ model", "BiQ paper",
+         "kGpu model", "kGpu paper",
+         "cublas model", "cublas paper",
+         "xnor model", "xnor paper"],
+        notes=[
+            "model = roofline cost model on the Table III V100 config",
+            "shape to check: BiQGEMM fastest at small batch; cuBLAS "
+            "overtakes at n=4096 b>=128; xnor flat and best at large "
+            "batch for small n",
+        ],
+    )
+    sizes = (512, 4096) if quick else (512, 1024, 2048, 4096)
+    batches = (1, 256) if quick else (1, 32, 128, 256)
+    for n in sizes:
+        for b in batches:
+            biq = estimate_biqgemm(v100, n, n, b, bits=1, mu=8).seconds * 1e6
+            kgpu = estimate_gemm(v100, n, n, b, engine="naive").seconds * 1e6
+            cublas = estimate_gemm(v100, n, n, b, engine="blas").seconds * 1e6
+            xnor = estimate_xnor(v100, n, n, b).seconds * 1e6
+            p = TABLE4_PAPER[(n, b)]
+            table.add_row(
+                n, b, biq, p[0], kgpu, p[1], cublas, p[2], xnor, p[3]
+            )
+    return [table]
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 -- runtime profiling of BiQGEMM phases
+# ----------------------------------------------------------------------
+def fig8(quick: bool = False) -> list[Table]:
+    """Measured build/query/replace proportions vs output size."""
+    table = Table(
+        "Fig. 8: BiQGEMM phase proportions (measured, batch 32, mu=8)",
+        ["n", "m", "build %", "query %", "replace %", "total"],
+        notes=[
+            "shape to check: query share grows with m and dominates",
+            "measured on this host's numpy kernel (single thread)",
+        ],
+    )
+    rng = np.random.default_rng(8)
+    n_list = (1024,) if quick else (1024, 2048)
+    m_list = (512, 2048) if quick else (512, 1024, 2048, 4096, 8192)
+    batch = 32
+    for n in n_list:
+        x = rng.standard_normal((n, batch)).astype(np.float32)
+        for m in m_list:
+            engine = BiQGemm.from_binary(_random_binary(rng, (m, n)), mu=8)
+            engine.matmul(x, builder="dp")  # warm-up outside the profile
+            prof = PhaseProfiler()
+            repeats = 2 if quick else 3
+            for _ in range(repeats):
+                # builder='dp' mirrors the paper's CPU pipeline
+                # (Algorithm 1 construction), as Fig. 8 profiles it.
+                engine.matmul(x, builder="dp", profiler=prof)
+            frac = prof.proportions()
+            table.add_row(
+                n,
+                m,
+                100 * frac["build"],
+                100 * frac["query"],
+                100 * frac["replace"],
+                f"{prof.total / repeats * 1e3:.2f}ms",
+            )
+    return [table]
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 -- unpacking overhead
+# ----------------------------------------------------------------------
+def fig9(quick: bool = False) -> list[Table]:
+    """Packed-GEMM scenarios: measured wall clock + modelled CPU/GPU."""
+    measured = Table(
+        "Fig. 9 (measured): packed-weight GEMM scenarios, 1-bit, this host",
+        ["m=n", "batch", "w/o unpack", "sGEMM", "w/ unpack",
+         "unpack overhead x"],
+        notes=[
+            "shape to check: w/o unpack < sGEMM < w/ unpack",
+            "'w/o unpack' computes WRONG values by design (bandwidth probe)",
+        ],
+    )
+    rng = np.random.default_rng(9)
+    sizes = (512,) if quick else (1024, 2048)
+    batches = (32,) if quick else (32, 64, 128)
+    for size in sizes:
+        binary = _random_binary(rng, (size, size))
+        dense = binary.astype(np.float32)
+        packed = pack_bits(binary)
+        for b in batches:
+            x = rng.standard_normal((size, b)).astype(np.float32)
+            t_no = time_callable(lambda: gemm_without_unpack(packed, x))
+            t_sg = time_callable(lambda: sgemm(dense, x))
+            t_un = time_callable(lambda: gemm_with_unpack(packed, x))
+            measured.add_row(
+                size,
+                b,
+                f"{t_no * 1e3:.3f}ms",
+                f"{t_sg * 1e3:.3f}ms",
+                f"{t_un * 1e3:.3f}ms",
+                t_un / max(t_sg, 1e-12),
+            )
+
+    model = Table(
+        "Fig. 9 (model): packed-weight GEMM scenarios on the paper machines",
+        ["machine", "m=n", "batch", "w/o unpack", "sGEMM", "w/ unpack"],
+        notes=["milliseconds on CPU rows, microseconds on V100 rows"],
+    )
+    for mkey in ("pc", "v100"):
+        mc = MACHINES[mkey]
+        unit, scale = ("ms", 1e3) if not mc.is_gpu else ("us", 1e6)
+        for size in (1024, 2048):
+            for b in (32, 64, 128):
+                t_no = estimate_packed_gemm(
+                    mc, size, size, b, scenario="without_unpack"
+                ).seconds
+                t_sg = estimate_packed_gemm(
+                    mc, size, size, b, scenario="container"
+                ).seconds
+                t_un = estimate_packed_gemm(
+                    mc, size, size, b, scenario="with_unpack"
+                ).seconds
+                model.add_row(
+                    mkey,
+                    size,
+                    b,
+                    f"{t_no * scale:.2f}{unit}",
+                    f"{t_sg * scale:.2f}{unit}",
+                    f"{t_un * scale:.2f}{unit}",
+                )
+    return [measured, model]
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 -- speedup over Eigen
+# ----------------------------------------------------------------------
+def fig10(quick: bool = False) -> list[Table]:
+    """Speedup of BiQGEMM over float GEMM: cost model + host wall clock."""
+    model = Table(
+        "Fig. 10 (model): BiQGEMM speedup over BLAS GEMM, 1 thread, n=1024",
+        ["machine", "m", "batch", "1-bit", "2-bit", "3-bit"],
+        notes=[
+            "speedup = gemm_time / biqgemm_time from the cost model",
+            "shape to check: speedup grows with m, shrinks with batch "
+            "and bits; PC 3-bit crosses below 1.0 near batch 128; "
+            "mobile stays above 1.0 longer",
+        ],
+    )
+    n = 1024
+    batches = (1, 8, 16, 32, 128, 256)
+    for mkey in ("pc", "mobile"):
+        mc = MACHINES[mkey]
+        for m in (1024, 2048, 4096):
+            for b in batches:
+                gemm_t = estimate_gemm(mc, m, n, b, engine="blas").seconds
+                speedups = []
+                for bits in (1, 2, 3):
+                    biq_t = estimate_biqgemm(mc, m, n, b, bits=bits).seconds
+                    speedups.append(gemm_t / biq_t)
+                model.add_row(mkey, m, b, *speedups)
+
+    measured = Table(
+        "Fig. 10 (measured): numpy BiQGEMM vs numpy BLAS on this host",
+        ["m", "batch", "bits", "BLAS", "BiQGEMM", "speedup"],
+        notes=[
+            "numpy gathers cannot beat a tuned BLAS the way the paper's "
+            "C++ kernel beats Eigen; recorded for honesty (see "
+            "EXPERIMENTS.md) -- the cost model carries the shape claim",
+        ],
+    )
+    rng = np.random.default_rng(10)
+    m_list = (1024,) if quick else (1024, 2048)
+    b_list = (1,) if quick else (1, 32)
+    bits_list = (1,) if quick else (1, 3)
+    for m in m_list:
+        for bits in bits_list:
+            binary = _random_binary(rng, (bits, m, n))
+            engine = BiQGemm.from_binary(binary, mu=8)
+            dense = binary[0].astype(np.float32)
+            for b in b_list:
+                x = rng.standard_normal((n, b)).astype(np.float32)
+                t_blas = time_callable(lambda: sgemm(dense, x)) * max(bits, 1)
+                t_biq = time_callable(lambda: engine.matmul(x))
+                measured.add_row(
+                    m,
+                    b,
+                    bits,
+                    f"{t_blas * 1e3:.3f}ms",
+                    f"{t_biq * 1e3:.3f}ms",
+                    t_blas / max(t_biq, 1e-12),
+                )
+    return [model, measured]
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def fig10_chart(machine_key: str = "pc", m: int = 1024) -> str:
+    """ASCII rendering of Fig. 10's speedup-vs-batch curves.
+
+    One chart per machine/output-size, three series (1/2/3-bit), drawn
+    from the cost model; the CLI prints this under ``fig10 --plot``.
+    """
+    from repro.bench.plot import render_series
+
+    mc = MACHINES[machine_key]
+    batches = (1, 8, 16, 32, 64, 128, 256)
+    series: dict[str, list[float]] = {}
+    for bits in (1, 2, 3):
+        vals = []
+        for b in batches:
+            gemm_t = estimate_gemm(mc, m, 1024, b).seconds
+            biq_t = estimate_biqgemm(mc, m, 1024, b, bits=bits).seconds
+            vals.append(gemm_t / biq_t)
+        series[f"{bits}-bit"] = vals
+    return render_series(
+        f"Fig. 10 ({machine_key}): BiQGEMM speedup over GEMM, m={m}, n=1024",
+        list(batches),
+        series,
+        y_label="speedup (cost model); 1.0 = parity",
+    )
+
+
+def mu_ablation(quick: bool = False) -> list[Table]:
+    """LUT-unit sweep: analytic Eq. 9 ratio and measured kernel time."""
+    from repro.core.autotune import empirical_mu
+
+    analytic = Table(
+        "mu ablation (analytic): Eq. 9 cost ratio (2^mu + m) / (m * mu)",
+        ["m", "best mu"] + [f"mu={mu}" for mu in (2, 4, 6, 8, 10, 12)],
+        notes=["paper: mu=8 is close to optimal across its sizes"],
+    )
+    for m in (512, 1024, 2048, 4096, 8192):
+        ratios = [analytic_cost_ratio(mu, m) for mu in (2, 4, 6, 8, 10, 12)]
+        analytic.add_row(m, analytic_mu(m), *ratios)
+
+    measured = Table(
+        "mu ablation (measured): kernel seconds per mu on this host",
+        ["m", "n", "batch", "best mu", "timings"],
+        notes=["empirical_mu on synthetic 1-bit weights"],
+    )
+    cases = [(1024, 1024, 8)] if quick else [(1024, 1024, 8), (2048, 1024, 32)]
+    for m, n, b in cases:
+        best, timings = empirical_mu(
+            m, n, b, candidates=(4, 6, 8, 10), repeats=2 if quick else 3
+        )
+        pretty = ", ".join(f"mu{mu}={t * 1e3:.2f}ms" for mu, t in timings.items())
+        measured.add_row(m, n, b, best, pretty)
+    return [analytic, measured]
+
+
+def lut_build_ablation(quick: bool = False) -> list[Table]:
+    """DP vs GEMM table construction (paper Eq. 6 vs T_c,mm)."""
+    table = Table(
+        "LUT build ablation: dynamic programming vs GEMM construction",
+        ["mu", "groups", "batch", "DP adds", "GEMM madds", "ratio",
+         "DP ms", "DP-nosym ms", "GEMM ms"],
+        notes=[
+            "analytic ratio tends to mu (paper: DP is mu-fold cheaper)",
+            "wall clock on this host's vectorized builders",
+        ],
+    )
+    rng = np.random.default_rng(11)
+    cases = [(8, 128, 32)] if quick else [(4, 128, 32), (8, 128, 32), (8, 256, 128)]
+    for mu, groups, batch in cases:
+        x = rng.standard_normal((groups * mu, batch)).astype(np.float32)
+        xhat = reshape_input(x, mu)
+        dp = dp_flop_count(mu, groups, batch)
+        gm = gemm_build_flop_count(mu, groups, batch)
+        t_dp = time_callable(lambda: build_tables_dp(xhat))
+        t_ns = time_callable(lambda: build_tables_dp(xhat, use_symmetry=False))
+        t_gm = time_callable(lambda: build_tables_gemm(xhat))
+        table.add_row(
+            mu, groups, batch, dp, gm, gm / dp,
+            t_dp * 1e3, t_ns * 1e3, t_gm * 1e3,
+        )
+    return [table]
+
+
+def tiling_ablation(quick: bool = False) -> list[Table]:
+    """Tile-shape sweep: resident LUT bytes vs kernel time."""
+    table = Table(
+        "Tiling ablation: LUT-stationary tile shapes (m=2048, n=1024, b=32)",
+        ["tile_m", "tile_g", "LUT bytes", "seconds"],
+        notes=["all configurations produce identical outputs (tested)"],
+    )
+    rng = np.random.default_rng(12)
+    m, n, b = (1024, 512, 16) if quick else (2048, 1024, 32)
+    engine = BiQGemm.from_binary(_random_binary(rng, (m, n)), mu=8)
+    x = rng.standard_normal((n, b)).astype(np.float32)
+    groups = engine.key_matrix.groups
+    configs = [
+        TileConfig(tile_m=m, tile_g=groups),
+        TileConfig(tile_m=m, tile_g=max(1, groups // 4)),
+        TileConfig(tile_m=max(1, m // 4), tile_g=groups),
+        TileConfig(tile_m=max(1, m // 8), tile_g=max(1, groups // 8)),
+    ]
+    for cfg in configs:
+        t = time_callable(lambda: engine.matmul(x, tiles=cfg))
+        table.add_row(
+            cfg.tile_m,
+            cfg.tile_g,
+            lut_tile_bytes(cfg.tile_g, 8, b),
+            t,
+        )
+    return [table]
+
+
+def threads_ablation(quick: bool = False) -> list[Table]:
+    """Thread scaling of the query phase (paper Section IV-D claim)."""
+    table = Table(
+        "Thread scaling: BiQGEMM matmul vs worker threads "
+        "(measured + cost model)",
+        ["m", "n", "batch", "threads", "seconds", "measured speedup",
+         "model speedup (pc)"],
+        notes=[
+            "paper Section IV-D: multithreading improves both engines "
+            "~linearly; the cost model reflects that via engaged units",
+            "on the numpy substrate, fancy-index gathers hold the GIL, "
+            "so measured scaling is limited -- an honest substrate gap "
+            "(EXPERIMENTS.md)",
+        ],
+    )
+    rng = np.random.default_rng(13)
+    m, n, b = (2048, 1024, 32) if quick else (4096, 2048, 64)
+    engine = BiQGemm.from_binary(_random_binary(rng, (m, n)), mu=8)
+    x = rng.standard_normal((n, b)).astype(np.float32)
+    tiles = TileConfig(tile_m=max(1, m // 16), tile_g=engine.key_matrix.groups)
+    pc = MACHINES["pc"]
+    base = None
+    model_base = estimate_biqgemm(pc, m, n, b, threads=1).seconds
+    for threads in (1, 2, 4):
+        t = time_callable(
+            lambda: engine.matmul(x, threads=threads, tiles=tiles),
+            repeats=3,
+        )
+        if base is None:
+            base = t
+        model_t = estimate_biqgemm(pc, m, n, b, threads=threads).seconds
+        table.add_row(m, n, b, threads, t, base / t, model_base / model_t)
+    return [table]
+
+
+def models_experiment(quick: bool = False) -> list[Table]:
+    """Section II-C motivation: end-to-end layer costs per NLP model.
+
+    For every model shape the paper cites (Transformer base/big,
+    BERT-large, ALBERT-xxlarge, LAS), sums the cost-model time of all
+    its weight GEMMs on the PC and mobile configs at batch 18 (the
+    paper's average sub-word count) and reports weight footprints.
+    """
+    from repro.nn.model_zoo import MODEL_SHAPES, model_gemm_shapes
+
+    table = Table(
+        "Section II-C models: full-model GEMM time and weights "
+        "(cost model, batch 18, 1 thread, 3-bit BCQ)",
+        ["model", "GEMMs", "fp32 MB", "keys MB",
+         "pc GEMM ms", "pc BiQ ms", "pc speedup",
+         "mobile GEMM ms", "mobile BiQ ms", "mobile speedup"],
+        notes=[
+            "per-model totals over every attention/FFN/LSTM projection",
+            "keys MB = 3-bit BiQGEMM key planes at mu=8",
+        ],
+    )
+    bits, batch = 3, 18
+    keys = ("transformer-base",) if quick else tuple(MODEL_SHAPES)
+    for key in keys:
+        shapes = model_gemm_shapes(key)
+        fp32_mb = sum(m * n * 4 for _, m, n in shapes) / 1e6
+        keys_mb = sum(m * -(-n // 8) * bits for _, m, n in shapes) / 1e6
+        row = [key, len(shapes), fp32_mb, keys_mb]
+        for mkey in ("pc", "mobile"):
+            mc = MACHINES[mkey]
+            t_gemm = sum(
+                estimate_gemm(mc, m, n, batch).seconds for _, m, n in shapes
+            )
+            t_biq = sum(
+                estimate_biqgemm(mc, m, n, batch, bits=bits).seconds
+                for _, m, n in shapes
+            )
+            row.extend([t_gemm * 1e3, t_biq * 1e3, t_gemm / t_biq])
+        table.add_row(*row)
+    return [table]
+
+
+def shared_ablation(quick: bool = False) -> list[Table]:
+    """Shared-input LUT reuse across Q/K/V projections (extension).
+
+    A :class:`~repro.core.group.BiQGemmGroup` builds tables once per
+    input and streams all member key matrices against them; this
+    quantifies the saving versus three independent multiplies.
+    """
+    from repro.core.group import BiQGemmGroup
+
+    table = Table(
+        "Shared-LUT ablation: fused QKV vs separate BiQGEMM multiplies",
+        ["n=m", "batch", "separate s", "fused s", "speedup",
+         "build adds saved"],
+        notes=[
+            "extension enabled by the paper's structure: Q/K/V share "
+            "activations, hence lookup tables",
+        ],
+    )
+    rng = np.random.default_rng(14)
+    cases = [(512, 8)] if quick else [(512, 8), (1024, 8), (1024, 32)]
+    for n, b in cases:
+        engines = [
+            BiQGemm.from_binary(_random_binary(rng, (n, n)), mu=8)
+            for _ in range(3)
+        ]
+        group = BiQGemmGroup(engines)
+        x = rng.standard_normal((n, b)).astype(np.float32)
+        t_sep = time_callable(
+            lambda: [e.matmul(x, builder="dp") for e in engines], repeats=3
+        )
+        t_fused = time_callable(
+            lambda: group.matmul_shared(x, builder="dp"), repeats=3
+        )
+        savings = group.build_savings(b)
+        table.add_row(
+            n,
+            b,
+            t_sep,
+            t_fused,
+            t_sep / t_fused,
+            savings["separate_build_adds"] - savings["shared_build_adds"],
+        )
+    return [table]
+
+
+def cache_ablation(quick: bool = False) -> list[Table]:
+    """Cache-locality ablation: simulated L1 hit rates of the query loop.
+
+    Derives the paper's Section III-C locality argument from first
+    principles: the gather address stream is replayed through an LRU
+    set-associative model of the i7-7700 L1, with and without
+    LUT-stationary tiling, across batch sizes.  The falling hit rate is
+    the mechanism the cost model's ``spill_factor`` summarizes.
+    """
+    from repro.hw.cachesim import simulate_query_hit_rate
+
+    table = Table(
+        "Cache ablation: simulated L1 hit rate of the query phase "
+        "(i7-7700 L1: 32KB/64B/8-way; m=256, n=1024, mu=8)",
+        ["batch", "table KB", "untiled hit %", "L1-tile_g",
+         "tiled hit %"],
+        notes=[
+            "shape to check: hit rate falls as one table outgrows L1; "
+            "LUT-stationary tiling recovers locality but cannot undo "
+            "the batch effect (paper Fig. 10 mechanism)",
+        ],
+    )
+    batches = (1, 32) if quick else (1, 8, 32, 128)
+    rows = 32 if quick else 64
+    for b in batches:
+        full = simulate_query_hit_rate(256, 1024, b, mu=8, max_rows=rows)
+        table_bytes = int(full["table_bytes"])
+        tile_g = max(1, (32 * 1024) // table_bytes)
+        tiled = simulate_query_hit_rate(
+            256, 1024, b, mu=8, tile_g=tile_g, max_rows=rows
+        )
+        table.add_row(
+            b,
+            table_bytes / 1024,
+            100 * full["hit_rate"],
+            tile_g,
+            100 * tiled["hit_rate"],
+        )
+    return [table]
+
+
+def qat_experiment(quick: bool = False) -> list[Table]:
+    """QAT vs PTQ (paper reference [48], DeepTwist weight distortion).
+
+    The Table I BCQ rows come from quantization-aware retraining; this
+    reruns the accuracy proxy with the distortion loop and shows how
+    much of the post-training drop retraining recovers at 2-3 bits.
+    """
+    from repro.train.data import make_teacher_task
+    from repro.train.qat import qat_vs_ptq
+
+    table = Table(
+        "QAT vs PTQ: accuracy proxy with DeepTwist-style weight distortion",
+        ["bits", "float acc", "PTQ acc", "QAT acc", "drop recovered"],
+        notes=[
+            "QAT = retraining with occasional weight distortion "
+            "(paper ref [48], used for its Table I BCQ rows)",
+            "expected shape: QAT narrows the PTQ gap at 2-3 bits; "
+            "1-bit stays broken even with retraining (paper: 0.4 BLEU)",
+        ],
+    )
+    task = make_teacher_task()
+    rows = qat_vs_ptq(
+        task,
+        bits_list=(2,) if quick else (1, 2, 3),
+        epochs=8 if quick else 20,
+    )
+    for r in rows:
+        ptq_drop = r["float_accuracy"] - r["ptq_accuracy"]
+        recovered = (
+            (r["qat_accuracy"] - r["ptq_accuracy"]) / ptq_drop
+            if ptq_drop > 0
+            else 0.0
+        )
+        table.add_row(
+            int(r["bits"]),
+            r["float_accuracy"],
+            r["ptq_accuracy"],
+            r["qat_accuracy"],
+            recovered,
+        )
+    return [table]
+
+
+EXPERIMENTS: dict[str, Callable[[bool], list[Table]]] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "mu": mu_ablation,
+    "lut_build": lut_build_ablation,
+    "tiling": tiling_ablation,
+    "threads": threads_ablation,
+    "models": models_experiment,
+    "shared": shared_ablation,
+    "cache": cache_ablation,
+    "qat": qat_experiment,
+}
+"""Experiment id -> callable (see DESIGN.md Section 4 for the mapping)."""
+
+
+def run_experiment(name: str, *, quick: bool = False) -> list[Table]:
+    """Run one registered experiment and return its tables."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; expected one of {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(quick)

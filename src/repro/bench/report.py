@@ -1,0 +1,76 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table", "render_table", "format_seconds"]
+
+
+@dataclass
+class Table:
+    """A titled, annotated grid of results.
+
+    ``rows`` hold arbitrary cell values; floats are rendered with four
+    significant digits, everything else with ``str``.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} headers"
+            )
+        self.rows.append(cells)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_table(table: Table) -> str:
+    """Render a :class:`Table` as aligned monospace text."""
+    cells = [[_fmt(c) for c in row] for row in table.rows]
+    headers = [str(h) for h in table.headers]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [table.title, "=" * len(table.title)]
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out) + "\n"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: us below 1 ms, ms below 1 s, else seconds."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"

@@ -1,0 +1,174 @@
+"""Shared-input engine groups: build lookup tables once, query many.
+
+The paper's key economic argument (Section III-C) is that table
+construction is amortized by the query volume ``m * groups * b``.  The
+same argument extends *across weight matrices*: the Q, K and V
+projections of an attention block -- and the four gate blocks of an
+LSTM -- multiply the **same activation matrix**, so their lookup tables
+are identical.  :class:`BiQGemmGroup` exploits that: one build phase
+(Algorithm 1) serves every member engine's query phase, cutting the
+build cost by the group size.  This is a natural extension the paper's
+structure enables; the ablation bench
+(`benchmarks/bench_ablation_shared.py`) quantifies the saving.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.kernel import BiQGemm, _phase
+from repro.core.lut import reshape_input
+from repro.core.profiling import PhaseProfiler
+from repro.core.tiling import TileConfig, choose_tiles
+
+__all__ = ["BiQGemmGroup"]
+
+
+class BiQGemmGroup:
+    """A set of BiQGEMM engines that always multiply the same input.
+
+    All members must agree on the inner dimension ``n`` and the LUT-unit
+    ``mu`` (tables are a function of ``(x, mu)`` only, so these are the
+    sharing preconditions).
+    """
+
+    def __init__(self, engines: Sequence[BiQGemm]):
+        if not engines:
+            raise ValueError("engine group must be non-empty")
+        for e in engines:
+            if not isinstance(e, BiQGemm):
+                raise TypeError(
+                    f"group members must be BiQGemm, got {type(e).__name__}"
+                )
+        n = engines[0].shape[1]
+        mu = engines[0].mu
+        for e in engines[1:]:
+            if e.shape[1] != n:
+                raise ValueError(
+                    f"all engines must share n={n}, got {e.shape[1]}"
+                )
+            if e.mu != mu:
+                raise ValueError(
+                    f"all engines must share mu={mu}, got {e.mu}"
+                )
+        self._engines = list(engines)
+        self._n = n
+        self._mu = mu
+
+    @classmethod
+    def from_floats(
+        cls,
+        weights: Sequence[np.ndarray],
+        *,
+        bits: int,
+        mu: int = 8,
+        method: str = "greedy",
+    ) -> "BiQGemmGroup":
+        """Quantize and compile several weight matrices as one group."""
+        return cls(
+            [
+                BiQGemm.from_float(w, bits=bits, mu=mu, method=method)
+                for w in weights
+            ]
+        )
+
+    @property
+    def engines(self) -> list[BiQGemm]:
+        """The member engines, in construction order."""
+        return list(self._engines)
+
+    @property
+    def n(self) -> int:
+        """Shared inner dimension."""
+        return self._n
+
+    @property
+    def mu(self) -> int:
+        """Shared LUT-unit."""
+        return self._mu
+
+    def matmul_shared(
+        self,
+        x: np.ndarray,
+        *,
+        builder: str = "auto",
+        tiles: TileConfig | None = None,
+        query_impl: str = "auto",
+        profiler: PhaseProfiler | None = None,
+    ) -> list[np.ndarray]:
+        """Multiply every member by *x*, building each table exactly once.
+
+        Equivalent to ``[e.matmul(x) for e in group.engines]`` but with a
+        single build phase; returns the outputs in member order.  The
+        tile schedule stays LUT-stationary: per group tile, the tables
+        are built once and then streamed against every member's keys.
+        """
+        with _phase(profiler, "replace"):
+            arr = np.asarray(x)
+            vector_in = arr.ndim == 1
+            if vector_in:
+                arr = arr[:, None]
+            if arr.ndim != 2:
+                raise ValueError(f"x must be 1-D or 2-D, got shape {arr.shape}")
+            if arr.shape[0] != self._n:
+                raise ValueError(
+                    f"x has {arr.shape[0]} rows, group expects n={self._n}"
+                )
+            if not np.issubdtype(arr.dtype, np.floating):
+                arr = arr.astype(np.float64)
+            xhat = reshape_input(arr, self._mu)
+        batch = arr.shape[1]
+        groups = xhat.shape[0]
+        dtype = arr.dtype
+        max_m = max(e.shape[0] for e in self._engines)
+        if tiles is None:
+            tiles = choose_tiles(
+                max_m, groups, self._mu, batch, itemsize=dtype.itemsize
+            )
+        build_fn = self._engines[0]._resolve_builder(builder, batch)
+
+        outputs = [
+            np.zeros((e.shape[0], batch), dtype=dtype) for e in self._engines
+        ]
+        for g0 in range(0, groups, tiles.tile_g):
+            g_sl = slice(g0, min(g0 + tiles.tile_g, groups))
+            with _phase(profiler, "build"):
+                q_tile = build_fn(xhat[g_sl])
+            for engine, y in zip(self._engines, outputs):
+                m = engine.shape[0]
+                alphas = engine.alphas.astype(dtype, copy=False)
+                keys = engine.key_matrix.keys
+                for r0 in range(0, m, tiles.tile_m):
+                    r_sl = slice(r0, min(r0 + tiles.tile_m, m))
+                    with _phase(profiler, "query"):
+                        engine._query_tile(
+                            y, q_tile, keys, alphas, r_sl, g_sl, query_impl
+                        )
+        if vector_in:
+            return [y[:, 0] for y in outputs]
+        return outputs
+
+    def build_savings(self, batch: int) -> dict[str, int]:
+        """Build-phase operation counts: shared vs separate (Eq. 6).
+
+        Separate engines each rebuild the same tables; the group builds
+        once.  Returns both counts so benches can report the ratio
+        (equal to the group size).
+        """
+        from repro.core.lut import dp_flop_count
+
+        groups = -(-self._n // self._mu)
+        once = dp_flop_count(self._mu, groups, batch)
+        return {
+            "shared_build_adds": once,
+            "separate_build_adds": once * len(self._engines),
+        }
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ms = [e.shape[0] for e in self._engines]
+        return f"BiQGemmGroup(n={self._n}, mu={self._mu}, m={ms})"

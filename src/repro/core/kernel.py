@@ -1,0 +1,393 @@
+"""The BiQGEMM engine (paper Algorithms 1+2, Sections III-B/III-C).
+
+:class:`BiQGemm` compiles a binary-coding-quantized weight matrix once
+(offline) into a key matrix, then multiplies it by activation matrices
+with the three-phase pipeline the paper profiles in Fig. 8:
+
+replace
+    Reshape/pad the input into length-``mu`` sub-vectors.
+build
+    Construct one ``2^mu``-entry lookup table per sub-vector per batch
+    column (dynamic programming, Algorithm 1 -- or the batched-GEMM
+    alternative of Fig. 4(a)).
+query
+    Stream key-matrix tiles against the resident tables, gathering and
+    accumulating partial sums (Algorithm 2, LUT-stationary tiling), then
+    apply the per-row scales and fold bit planes (Eq. 2).
+
+Multi-bit weights stack their key planes along the leading axis; only
+query work grows with the bit width -- tables are shared across planes,
+the property the paper highlights in Section III-B.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Literal
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.core.keys import KeyMatrix, decode_keys, encode_keys
+from repro.core.lut import build_tables_dp, build_tables_gemm, reshape_input
+from repro.core.profiling import PhaseProfiler
+from repro.core.tiling import TileConfig, choose_tiles, iter_tiles
+
+__all__ = ["BiQGemm"]
+
+Builder = Literal["dp", "dp-nosym", "gemm", "auto"]
+QueryImpl = Literal["auto", "flat", "loop"]
+
+
+def _phase(profiler: PhaseProfiler | None, name: str):
+    return profiler.phase(name) if profiler is not None else nullcontext()
+
+
+class BiQGemm:
+    """Lookup-table GEMM engine for a binary-coding-quantized matrix.
+
+    Construct via :meth:`from_float`, :meth:`from_bcq` or
+    :meth:`from_binary`; then call :meth:`matmul` any number of times.
+    The key matrix is immutable after construction, mirroring the
+    paper's deployment model in which the compiled keys (not the weights)
+    ship with the inference system.
+
+    Parameters
+    ----------
+    key_matrix:
+        Compiled keys from :func:`repro.core.keys.encode_keys`.
+    alphas:
+        Per-bit, per-row scale factors, shape ``(bits, m)``.  ``None``
+        means all-ones (a purely binary matrix).
+    """
+
+    def __init__(self, key_matrix: KeyMatrix, alphas: np.ndarray | None = None):
+        if not isinstance(key_matrix, KeyMatrix):
+            raise TypeError(
+                f"key_matrix must be a KeyMatrix, got {type(key_matrix).__name__}"
+            )
+        self._keys = key_matrix
+        if alphas is None:
+            alphas = np.ones((key_matrix.bits, key_matrix.m), dtype=np.float64)
+        alphas = np.asarray(alphas, dtype=np.float64)
+        if alphas.shape != (key_matrix.bits, key_matrix.m):
+            raise ValueError(
+                f"alphas must have shape (bits, m) = "
+                f"({key_matrix.bits}, {key_matrix.m}), got {alphas.shape}"
+            )
+        if not np.isfinite(alphas).all():
+            raise ValueError("alphas contain NaN or Inf")
+        self._alphas = alphas
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(
+        cls,
+        w: np.ndarray,
+        *,
+        bits: int,
+        mu: int = 8,
+        method: str = "greedy",
+    ) -> "BiQGemm":
+        """Quantize a dense float matrix with BCQ and compile it.
+
+        ``method`` is forwarded to :func:`repro.quant.bcq.bcq_quantize`.
+        """
+        from repro.quant.bcq import bcq_quantize
+
+        bcq = bcq_quantize(w, bits, method=method)
+        return cls.from_bcq(bcq, mu=mu)
+
+    @classmethod
+    def from_bcq(cls, bcq, *, mu: int = 8) -> "BiQGemm":
+        """Compile an existing :class:`~repro.quant.bcq.BCQTensor`."""
+        km = encode_keys(bcq.binary, mu)
+        return cls(km, alphas=bcq.alphas)
+
+    @classmethod
+    def from_binary(
+        cls,
+        binary: np.ndarray,
+        *,
+        alphas: np.ndarray | None = None,
+        mu: int = 8,
+    ) -> "BiQGemm":
+        """Compile raw ``{-1,+1}`` components (2-D or ``(bits, m, n)``).
+
+        With ``alphas=None`` this engine computes the exact integer-valued
+        product ``B . x`` -- handy for testing and for the Table IV 1-bit
+        setting.
+        """
+        arr = np.asarray(binary)
+        if arr.ndim == 2:
+            arr = arr[None, ...]
+        km = encode_keys(arr, mu)
+        if alphas is not None:
+            alphas = np.asarray(alphas, dtype=np.float64)
+            if alphas.ndim == 1:
+                alphas = alphas[None, :]
+        return cls(km, alphas=alphas)
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical ``(m, n)`` of the represented weight matrix."""
+        return (self._keys.m, self._keys.n)
+
+    @property
+    def bits(self) -> int:
+        """Number of quantization bit planes."""
+        return self._keys.bits
+
+    @property
+    def mu(self) -> int:
+        """LUT-unit."""
+        return self._keys.mu
+
+    @property
+    def key_matrix(self) -> KeyMatrix:
+        """The compiled key matrix (read-only view of this engine)."""
+        return self._keys
+
+    @property
+    def alphas(self) -> np.ndarray:
+        """Per-bit, per-row scales, shape ``(bits, m)``."""
+        return self._alphas
+
+    @property
+    def weight_nbytes(self) -> int:
+        """Bytes of compiled weight state (keys + scales)."""
+        return self._keys.nbytes + self._alphas.nbytes
+
+    def op_counts(self, batch: int) -> dict[str, int]:
+        """Analytic operation counts for one multiply at *batch* columns.
+
+        ``build_adds`` follows paper Eq. 6 (DP construction) and
+        ``lookups`` follows Eq. 7 scaled by the bit width; tests compare
+        them against instrumented runs.
+        """
+        check_positive_int(batch, "batch")
+        from repro.core.lut import dp_flop_count
+
+        g = self._keys.groups
+        return {
+            "build_adds": dp_flop_count(self.mu, g, batch),
+            "lookups": self._keys.m * g * batch * self.bits,
+        }
+
+    # ------------------------------------------------------------------
+    # multiplication
+    # ------------------------------------------------------------------
+    def matmul(
+        self,
+        x: np.ndarray,
+        *,
+        builder: Builder = "auto",
+        tiles: TileConfig | None = None,
+        threads: int = 1,
+        query_impl: QueryImpl = "auto",
+        profiler: PhaseProfiler | None = None,
+    ) -> np.ndarray:
+        """Compute ``W_quantized @ x`` via table lookups.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(n, b)`` or ``(n,)`` (paper orientation:
+            activations are columns).
+        builder:
+            ``"dp"`` -- Algorithm 1 dynamic programming (default);
+            ``"dp-nosym"`` -- DP without the half-table symmetry;
+            ``"gemm"`` -- the Fig. 4(a) batched-GEMM construction;
+            ``"auto"`` -- pick by a small size heuristic.
+        tiles:
+            Explicit :class:`~repro.core.tiling.TileConfig`; default picks
+            SRAM-feasible tiles via
+            :func:`~repro.core.tiling.choose_tiles`.
+        threads:
+            Worker threads for the query phase (row tiles are
+            independent).  1 = serial, matching the paper's Fig. 10
+            single-thread setup.
+        query_impl:
+            ``"flat"`` gathers a ``(rows, tile_g, b)`` block in one fancy
+            index; ``"loop"`` iterates groups with 2-D gathers;
+            ``"auto"`` chooses by block size.
+        profiler:
+            Optional :class:`~repro.core.profiling.PhaseProfiler`
+            accumulating build/query/replace seconds (Fig. 8).
+
+        Returns
+        -------
+        ``(m, b)`` array in *x*'s float dtype (``(m,)`` for vector input).
+        """
+        check_positive_int(threads, "threads", upper=256)
+        with _phase(profiler, "replace"):
+            arr = np.asarray(x)
+            vector_in = arr.ndim == 1
+            if vector_in:
+                arr = arr[:, None]
+            if arr.ndim != 2:
+                raise ValueError(f"x must be 1-D or 2-D, got shape {arr.shape}")
+            if arr.shape[0] != self._keys.n:
+                raise ValueError(
+                    f"x has {arr.shape[0]} rows, engine expects n={self._keys.n}"
+                )
+            if not np.issubdtype(arr.dtype, np.floating):
+                arr = arr.astype(np.float64)
+            xhat = reshape_input(arr, self.mu)
+        batch = arr.shape[1]
+        groups = self._keys.groups
+        m = self._keys.m
+        dtype = arr.dtype
+        if tiles is None:
+            tiles = choose_tiles(m, groups, self.mu, batch, itemsize=dtype.itemsize)
+        build_fn = self._resolve_builder(builder, batch)
+
+        y = np.zeros((m, batch), dtype=dtype)
+        alphas = self._alphas.astype(dtype, copy=False)
+        keys = self._keys.keys
+
+        if threads == 1:
+            self._run_tiles(
+                y, xhat, keys, alphas, tiles, build_fn, query_impl, profiler
+            )
+        else:
+            from repro.core.multithread import run_tiles_threaded
+
+            run_tiles_threaded(
+                self,
+                y,
+                xhat,
+                keys,
+                alphas,
+                tiles,
+                build_fn,
+                query_impl,
+                profiler,
+                threads,
+            )
+        return y[:, 0] if vector_in else y
+
+    def __call__(self, x: np.ndarray, **kwargs) -> np.ndarray:
+        """Alias for :meth:`matmul`."""
+        return self.matmul(x, **kwargs)
+
+    def matmul_reference(self, x: np.ndarray) -> np.ndarray:
+        """Slow oracle: decode keys and apply paper Eq. 2 directly.
+
+        Used by the tests to pin the fast paths; never use in production
+        code paths (it materializes the dense binary components).
+        """
+        binary = decode_keys(self._keys).astype(np.float64)
+        arr = np.asarray(x, dtype=np.float64)
+        vector_in = arr.ndim == 1
+        if vector_in:
+            arr = arr[:, None]
+        partial = np.einsum("imn,nb->imb", binary, arr)
+        out = np.einsum("im,imb->mb", self._alphas, partial)
+        return out[:, 0] if vector_in else out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve_builder(self, builder: Builder, batch: int):
+        if builder == "dp":
+            return build_tables_dp
+        if builder == "dp-nosym":
+            return lambda xh: build_tables_dp(xh, use_symmetry=False)
+        if builder == "gemm":
+            return build_tables_gemm
+        if builder == "auto":
+            # Paper Section III-B: "depending on the characteristics of a
+            # processor, a choice of appropriate scheme to implement
+            # lookup tables would be different".  On the numpy substrate
+            # the batched-BLAS construction beats the strided-write DP
+            # despite doing mu-fold more arithmetic (measured in
+            # benchmarks/bench_ablation_lut_build.py), so auto picks it.
+            return build_tables_gemm
+        raise ValueError(
+            f"builder must be 'dp', 'dp-nosym', 'gemm' or 'auto', got {builder!r}"
+        )
+
+    def _run_tiles(
+        self,
+        y: np.ndarray,
+        xhat: np.ndarray,
+        keys: np.ndarray,
+        alphas: np.ndarray,
+        tiles: TileConfig,
+        build_fn,
+        query_impl: QueryImpl,
+        profiler: PhaseProfiler | None,
+    ) -> None:
+        m, batch = y.shape
+        groups = xhat.shape[0]
+        seen_g: int | None = None
+        q_tile: np.ndarray | None = None
+        for r_sl, g_sl in iter_tiles(m, groups, tiles):
+            if seen_g != g_sl.start:
+                with _phase(profiler, "build"):
+                    q_tile = build_fn(xhat[g_sl])
+                seen_g = g_sl.start
+            with _phase(profiler, "query"):
+                self._query_tile(
+                    y, q_tile, keys, alphas, r_sl, g_sl, query_impl
+                )
+
+    def _query_tile(
+        self,
+        y: np.ndarray,
+        q_tile: np.ndarray,
+        keys: np.ndarray,
+        alphas: np.ndarray,
+        r_sl: slice,
+        g_sl: slice,
+        query_impl: QueryImpl,
+    ) -> None:
+        """Accumulate one (row, group) tile into *y* for all bit planes."""
+        tile_g = q_tile.shape[0]
+        batch = q_tile.shape[2]
+        rows = r_sl.stop - r_sl.start
+        impl = query_impl
+        if impl == "auto":
+            # Measured on numpy: the single fancy-index gather ("flat")
+            # only wins for (near-)GEMV shapes where per-group loop
+            # overhead dominates; with batch rows to copy per key, the
+            # group loop's contiguous row gathers are several times
+            # faster.  See benchmarks/bench_ablation_query_impl.py.
+            impl = (
+                "flat"
+                if batch <= 2 and rows * tile_g * batch <= (1 << 22)
+                else "loop"
+            )
+        if impl == "flat":
+            flat = q_tile.reshape(tile_g * q_tile.shape[1], batch)
+            offsets = (
+                np.arange(tile_g, dtype=np.intp) * q_tile.shape[1]
+            )[None, :]
+            for i in range(self.bits):
+                idx = keys[i, r_sl, g_sl].astype(np.intp) + offsets
+                acc = flat[idx].sum(axis=1)
+                y[r_sl] += alphas[i, r_sl, None] * acc
+        elif impl == "loop":
+            for i in range(self.bits):
+                acc = np.zeros((rows, batch), dtype=y.dtype)
+                key_block = keys[i, r_sl, g_sl]
+                for gi in range(tile_g):
+                    acc += q_tile[gi][key_block[:, gi]]
+                y[r_sl] += alphas[i, r_sl, None] * acc
+        else:
+            raise ValueError(
+                f"query_impl must be 'auto', 'flat' or 'loop', got {query_impl!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        m, n = self.shape
+        return (
+            f"BiQGemm(m={m}, n={n}, bits={self.bits}, mu={self.mu}, "
+            f"keys={self._keys.nbytes}B)"
+        )

@@ -1,0 +1,144 @@
+"""Offline weight compilation: binary matrices -> key matrix.
+
+Paper Fig. 5: consecutive ``mu`` binary weights in a row are bit-packed
+into one integer *key* (``{-1, 1, 1, -1} -> 0110b = 6``; the first
+element maps to the most-significant bit, ``+1`` to bit ``1``).  The key
+matrix ``K`` replaces the weight matrix entirely at inference time --
+keys index lookup tables directly, so no unpacking (paper Algorithm 3)
+is ever needed.  This is the single source of truth for the key
+encoding; :mod:`repro.core.lut` enumerates table entries in the same
+order so ``table[key] == row_slice . x_slice`` holds exactly.
+
+Columns that do not divide evenly by ``mu`` are padded with ``-1``
+(bit 0).  The corresponding activation rows are zero-padded by
+:func:`repro.core.lut.reshape_input`, so padded positions contribute
+``(-1) * 0 = 0`` to every table entry and correctness is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import ceil_div, check_binary, check_positive_int, pad_axis
+
+__all__ = ["KeyMatrix", "encode_keys", "decode_keys", "key_dtype"]
+
+MAX_MU = 16
+"""Largest supported LUT-unit.  ``2^mu`` table entries are materialized
+per sub-vector, so ``mu`` beyond 16 is never practical (paper Section
+IV-A settles on ``mu = 8``)."""
+
+
+def key_dtype(mu: int) -> np.dtype:
+    """Smallest unsigned dtype able to hold a ``mu``-bit key."""
+    check_positive_int(mu, "mu", upper=MAX_MU)
+    if mu <= 8:
+        return np.dtype(np.uint8)
+    return np.dtype(np.uint16)
+
+
+@dataclass(frozen=True)
+class KeyMatrix:
+    """Compiled quantized weights: integer keys plus per-row scales.
+
+    Attributes
+    ----------
+    keys:
+        ``(bits, m, groups)`` unsigned integers in ``[0, 2^mu)``.  Bit
+        planes are stacked along the leading axis, which realises the
+        paper's Fig. 2 vertical concatenation of binary matrices without
+        growing the number of lookup tables.
+    mu:
+        LUT-unit (sub-vector length).
+    n:
+        Original inner dimension before padding; ``groups ==
+        ceil(n / mu)``.
+    """
+
+    keys: np.ndarray
+    mu: int
+    n: int
+
+    def __post_init__(self) -> None:
+        keys = np.asarray(self.keys)
+        if keys.ndim != 3:
+            raise ValueError(f"keys must be (bits, m, groups), got {keys.shape}")
+        check_positive_int(self.mu, "mu", upper=MAX_MU)
+        check_positive_int(self.n, "n")
+        if keys.shape[2] != ceil_div(self.n, self.mu):
+            raise ValueError(
+                f"groups axis is {keys.shape[2]}, expected ceil({self.n}/{self.mu})"
+                f" = {ceil_div(self.n, self.mu)}"
+            )
+        if keys.size and int(keys.max(initial=0)) >= (1 << self.mu):
+            raise ValueError(f"keys contain values >= 2**mu = {1 << self.mu}")
+        object.__setattr__(self, "keys", keys.astype(key_dtype(self.mu), copy=False))
+
+    @property
+    def bits(self) -> int:
+        """Number of quantization bit planes."""
+        return int(self.keys.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Output size (rows of the weight matrix)."""
+        return int(self.keys.shape[1])
+
+    @property
+    def groups(self) -> int:
+        """Number of length-``mu`` groups per row (``ceil(n/mu)``)."""
+        return int(self.keys.shape[2])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes consumed by the key matrix."""
+        return int(self.keys.nbytes)
+
+
+def encode_keys(binary: np.ndarray, mu: int) -> KeyMatrix:
+    """Compile binary weight components into a :class:`KeyMatrix`.
+
+    Parameters
+    ----------
+    binary:
+        ``{-1,+1}`` array of shape ``(m, n)`` (single bit plane) or
+        ``(bits, m, n)``.
+    mu:
+        LUT-unit; each row is chopped into ``ceil(n/mu)`` keys.
+
+    Returns
+    -------
+    KeyMatrix
+    """
+    check_positive_int(mu, "mu", upper=MAX_MU)
+    arr = check_binary(binary, "binary")
+    if arr.ndim == 2:
+        arr = arr[None, ...]
+    if arr.ndim != 3:
+        raise ValueError(f"binary must be 2-D or 3-D, got shape {arr.shape}")
+    bits, m, n = arr.shape
+    if n == 0 or m == 0:
+        raise ValueError("binary matrix must be non-empty")
+    padded = pad_axis(arr, mu, axis=2, value=-1)
+    groups = padded.shape[2] // mu
+    grouped = (padded.reshape(bits, m, groups, mu) > 0).astype(np.uint32)
+    weights = (1 << np.arange(mu - 1, -1, -1, dtype=np.uint32))
+    keys = (grouped * weights).sum(axis=3, dtype=np.uint32)
+    return KeyMatrix(keys=keys.astype(key_dtype(mu)), mu=mu, n=n)
+
+
+def decode_keys(km: KeyMatrix) -> np.ndarray:
+    """Reconstruct the dense ``{-1,+1}`` binary components from keys.
+
+    Inverse of :func:`encode_keys` (padding removed); used by tests and
+    by the reference multiply path.
+    """
+    if not isinstance(km, KeyMatrix):
+        raise TypeError(f"expected KeyMatrix, got {type(km).__name__}")
+    shifts = np.arange(km.mu - 1, -1, -1, dtype=np.uint32)
+    bits_arr = (km.keys[..., None].astype(np.uint32) >> shifts) & np.uint32(1)
+    signs = bits_arr.astype(np.int8) * 2 - 1
+    full = signs.reshape(km.bits, km.m, km.groups * km.mu)
+    return full[:, :, : km.n]

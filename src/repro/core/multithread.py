@@ -1,0 +1,100 @@
+"""Thread-parallel tile execution for the BiQGEMM query phase.
+
+The paper (Section IV-D) notes both BiQGEMM and GEMM parallelize
+linearly with tiling: one thread owns one or more LUT tiles, and "one
+lookup table cannot be implemented by coordinating more than two
+threads" -- i.e. table construction is not split across workers.  This
+module follows that scheme: for each group tile, the tables are built
+once, then row tiles are fanned out to a worker pool.  Row tiles write
+disjoint output rows, so no synchronization is needed beyond the
+barrier between group tiles.
+
+numpy's gather/accumulate kernels release the GIL for large blocks, so
+plain Python threads provide genuine parallel speedup here.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+
+import numpy as np
+
+from repro.core.profiling import PhaseProfiler
+from repro.core.tiling import TileConfig
+
+__all__ = ["run_tiles_threaded", "shutdown_pools"]
+
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _pool(threads: int) -> ThreadPoolExecutor:
+    """Return a cached pool with *threads* workers (created lazily)."""
+    with _POOLS_LOCK:
+        pool = _POOLS.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="biqgemm"
+            )
+            _POOLS[threads] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down all cached worker pools (test hygiene)."""
+    with _POOLS_LOCK:
+        for pool in _POOLS.values():
+            pool.shutdown(wait=True)
+        _POOLS.clear()
+
+
+def run_tiles_threaded(
+    engine,
+    y: np.ndarray,
+    xhat: np.ndarray,
+    keys: np.ndarray,
+    alphas: np.ndarray,
+    tiles: TileConfig,
+    build_fn,
+    query_impl: str,
+    profiler: PhaseProfiler | None,
+    threads: int,
+) -> None:
+    """Execute the LUT-stationary tile schedule with a thread pool.
+
+    Mirrors ``BiQGemm._run_tiles`` but dispatches the row tiles of each
+    group tile concurrently.  *engine* is the owning
+    :class:`~repro.core.kernel.BiQGemm` (its ``_query_tile`` does the
+    actual gather work).
+    """
+    m, _ = y.shape
+    groups = xhat.shape[0]
+    pool = _pool(threads)
+
+    for g0 in range(0, groups, tiles.tile_g):
+        g_sl = slice(g0, min(g0 + tiles.tile_g, groups))
+        if profiler is not None:
+            with profiler.phase("build"):
+                q_tile = build_fn(xhat[g_sl])
+        else:
+            q_tile = build_fn(xhat[g_sl])
+
+        def job(r0: int, q_tile=q_tile, g_sl=g_sl) -> None:
+            r_sl = slice(r0, min(r0 + tiles.tile_m, m))
+            if profiler is not None:
+                with profiler.phase("query"):
+                    engine._query_tile(
+                        y, q_tile, keys, alphas, r_sl, g_sl, query_impl
+                    )
+            else:
+                engine._query_tile(
+                    y, q_tile, keys, alphas, r_sl, g_sl, query_impl
+                )
+
+        futures = [pool.submit(job, r0) for r0 in range(0, m, tiles.tile_m)]
+        done, _pending = wait(futures)
+        for fut in done:
+            exc = fut.exception()
+            if exc is not None:
+                raise exc

@@ -1,0 +1,97 @@
+"""Phase timers for the BiQGEMM pipeline (paper Fig. 8).
+
+The paper profiles BiQGEMM into three operations: lookup-table
+construction (*build*), value retrieval (*query*) and memory replacement
+for tiling (*replace*).  :class:`PhaseProfiler` accumulates wall-clock
+time per phase across any number of kernel invocations and reports the
+same proportions Fig. 8 plots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseProfiler", "PHASES"]
+
+PHASES = ("build", "query", "replace")
+"""Canonical phase names, matching the paper's Fig. 8 legend."""
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds per named pipeline phase.
+
+    Thread-safe: concurrent tiles may record phases simultaneously (the
+    totals then reflect aggregate busy time, not the critical path --
+    Fig. 8 is single-threaded, matching the paper's setup).
+
+    Example
+    -------
+    >>> prof = PhaseProfiler()
+    >>> with prof.phase("build"):
+    ...     pass
+    >>> sorted(prof.seconds) == ['build', 'query', 'replace']
+    True
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.seconds: dict[str, float] = {p: 0.0 for p in PHASES}
+        self.calls: dict[str, int] = {p: 0 for p in PHASES}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one phase occurrence."""
+        if name not in self.seconds:
+            raise ValueError(f"unknown phase {name!r}; expected one of {PHASES}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.seconds[name] += elapsed
+                self.calls[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record *seconds* against phase *name* without a context manager."""
+        if name not in self.seconds:
+            raise ValueError(f"unknown phase {name!r}; expected one of {PHASES}")
+        with self._lock:
+            self.seconds[name] += float(seconds)
+            self.calls[name] += 1
+
+    @property
+    def total(self) -> float:
+        """Total profiled seconds across all phases."""
+        return sum(self.seconds.values())
+
+    def proportions(self) -> dict[str, float]:
+        """Fraction of total time per phase (the Fig. 8 y-axis).
+
+        Returns all-zero fractions when nothing was recorded.
+        """
+        total = self.total
+        if total <= 0.0:
+            return {p: 0.0 for p in PHASES}
+        return {p: self.seconds[p] / total for p in PHASES}
+
+    def reset(self) -> None:
+        """Zero all accumulators."""
+        with self._lock:
+            for p in PHASES:
+                self.seconds[p] = 0.0
+                self.calls[p] = 0
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's totals into this one."""
+        with self._lock:
+            for p in PHASES:
+                self.seconds[p] += other.seconds[p]
+                self.calls[p] += other.calls[p]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{p}={self.seconds[p]:.4f}s" for p in PHASES)
+        return f"PhaseProfiler({parts})"

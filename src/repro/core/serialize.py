@@ -1,0 +1,70 @@
+"""Persist compiled BiQGEMM engines.
+
+Deployment per the paper's footnote 3: "matrix K instead of B can be
+loaded in advance into the system, since the weight matrices are fixed
+during inference" -- i.e. what ships is the compiled key matrix plus
+scales, not float weights.  This module serializes exactly that state
+(``.npz``, compressed), so an engine can be compiled once offline and
+reloaded by the inference process.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kernel import BiQGemm
+from repro.core.keys import KeyMatrix
+
+__all__ = ["save_engine", "load_engine"]
+
+_FORMAT_VERSION = 1
+
+
+def save_engine(engine: BiQGemm, path: str | Path) -> None:
+    """Write an engine's compiled state to *path* (``.npz``)."""
+    if not isinstance(engine, BiQGemm):
+        raise TypeError(f"expected BiQGemm, got {type(engine).__name__}")
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        keys=engine.key_matrix.keys,
+        alphas=engine.alphas,
+        mu=np.int64(engine.mu),
+        n=np.int64(engine.shape[1]),
+    )
+
+
+def load_engine(path: str | Path) -> BiQGemm:
+    """Reconstruct a :class:`BiQGemm` saved by :func:`save_engine`.
+
+    Validates the format version and the internal consistency of the
+    stored arrays (shape/range checks run in the ``KeyMatrix``
+    constructor), so a truncated or foreign file fails loudly.
+    """
+    path = Path(path)
+    if not path.exists():
+        # np.savez appends .npz when missing; mirror that on load.
+        alt = path.with_name(path.name + ".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise FileNotFoundError(f"no engine file at {path}")
+    try:
+        with np.load(path) as data:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported engine format version {version} "
+                    f"(expected {_FORMAT_VERSION})"
+                )
+            km = KeyMatrix(
+                keys=data["keys"], mu=int(data["mu"]), n=int(data["n"])
+            )
+            return BiQGemm(km, alphas=data["alphas"])
+    except KeyError as exc:
+        raise ValueError(
+            f"{path} is not a BiQGEMM engine file (missing field {exc})"
+        ) from exc

@@ -1,0 +1,102 @@
+"""LUT-stationary tiling (paper Algorithm 2, Fig. 7).
+
+Lookup tables are the largest per-batch intermediate -- ``2^mu * 4``
+bytes per sub-vector per batch column -- so BiQGEMM keeps a *tile* of
+tables resident (in SRAM on real hardware; in cache here) and streams
+key-matrix tiles against it.  Tables are built on the fly per group tile
+(Algorithm 2 line 3) and never revisited, so no table is ever
+constructed twice ("LUT-stationary").
+
+The paper observes (Section III-C) that available SRAM constrains the
+tile size and therefore large batches hurt BiQGEMM on commodity parts;
+:func:`choose_tiles` encodes that constraint and the cost model in
+:mod:`repro.hw.costmodel` consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro._util import ceil_div, check_positive_int
+
+__all__ = ["TileConfig", "iter_tiles", "lut_tile_bytes", "choose_tiles"]
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Tile extents for the query loop.
+
+    Attributes
+    ----------
+    tile_m:
+        Rows of the key matrix processed per inner tile (paper ``h_t``).
+    tile_g:
+        Sub-vector groups whose tables are resident at once (paper
+        ``w_t``).
+    """
+
+    tile_m: int
+    tile_g: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.tile_m, "tile_m")
+        check_positive_int(self.tile_g, "tile_g")
+
+
+def iter_tiles(
+    m: int, groups: int, config: TileConfig
+) -> Iterator[tuple[slice, slice]]:
+    """Yield ``(row_slice, group_slice)`` pairs in LUT-stationary order.
+
+    The group loop is outermost (Algorithm 2 line 2): all row tiles are
+    consumed against one resident set of tables before the next tables
+    are built.  Every (row, group) cell is covered exactly once, which a
+    property test asserts.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(groups, "groups")
+    for g0 in range(0, groups, config.tile_g):
+        g_sl = slice(g0, min(g0 + config.tile_g, groups))
+        for r0 in range(0, m, config.tile_m):
+            yield slice(r0, min(r0 + config.tile_m, m)), g_sl
+
+
+def lut_tile_bytes(tile_g: int, mu: int, batch: int, itemsize: int = 4) -> int:
+    """Bytes of lookup-table storage a tile keeps resident.
+
+    ``tile_g * 2^mu * batch * itemsize`` -- the quantity that must fit in
+    SRAM/L1 for queries to stay fast (paper Section III-C).
+    """
+    check_positive_int(tile_g, "tile_g")
+    check_positive_int(mu, "mu")
+    check_positive_int(batch, "batch")
+    check_positive_int(itemsize, "itemsize")
+    return tile_g * (1 << mu) * batch * itemsize
+
+
+def choose_tiles(
+    m: int,
+    groups: int,
+    mu: int,
+    batch: int,
+    *,
+    itemsize: int = 4,
+    sram_bytes: int = 1 << 25,
+    gather_budget: int = 1 << 23,
+) -> TileConfig:
+    """Pick tile extents that respect the SRAM and gather-buffer budgets.
+
+    ``tile_g`` is the largest group count whose tables fit in
+    *sram_bytes* (at least 1: a single table may exceed a small SRAM at
+    large batch, which is exactly the degradation the paper discusses).
+    ``tile_m`` bounds the temporary gathered block
+    ``tile_m * tile_g * batch`` to *gather_budget* elements so the
+    vectorized query path never materializes an oversized intermediate.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(groups, "groups")
+    per_group = lut_tile_bytes(1, mu, batch, itemsize)
+    tile_g = max(1, min(groups, sram_bytes // max(per_group, 1)))
+    tile_m = max(1, min(m, gather_budget // max(tile_g * batch, 1)))
+    return TileConfig(tile_m=tile_m, tile_g=tile_g)

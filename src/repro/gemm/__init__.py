@@ -1,0 +1,41 @@
+"""Baseline matrix-multiplication engines the paper compares against.
+
+- :mod:`repro.gemm.sgemm` -- dense float GEMM through numpy's BLAS; the
+  stand-in for Intel MKL / Eigen / cuBLAS.  Includes the paper's
+  "sGEMM" mode (each quantized weight stored alone in a 32-bit
+  container, so quantization brings no speedup).
+- :mod:`repro.gemm.reference` -- naive and blocked triple-loop GEMM, the
+  analogue of the paper's ``kCpu``/``kGpu`` textbook kernels.
+- :mod:`repro.gemm.packed` -- GEMM over bit-packed weights *with* the
+  unpacking step (correct, slow) and *without* it (incorrect by design;
+  the bandwidth probe of the paper's Fig. 9).
+- :mod:`repro.gemm.xnor` -- XNOR-popcount GEMM with quantized
+  activations (paper Eq. 3 and the ``xnor`` column of Table IV).
+- :mod:`repro.gemm.int8` -- fixed-point INT8 GEMM with dynamic
+  activation quantization (the uniform-quantization pipeline of paper
+  Section II-A).
+"""
+
+from repro.gemm.sgemm import sgemm, sgemm_container
+from repro.gemm.reference import gemm_reference, gemm_blocked
+from repro.gemm.packed import (
+    gemm_with_unpack,
+    gemm_without_unpack,
+    unpack_flop_count,
+)
+from repro.gemm.xnor import XnorGemm, xnor_popcount_dot
+from repro.gemm.int8 import Int8Gemm, quantize_activations_int8
+
+__all__ = [
+    "Int8Gemm",
+    "quantize_activations_int8",
+    "sgemm",
+    "sgemm_container",
+    "gemm_reference",
+    "gemm_blocked",
+    "gemm_with_unpack",
+    "gemm_without_unpack",
+    "unpack_flop_count",
+    "XnorGemm",
+    "xnor_popcount_dot",
+]

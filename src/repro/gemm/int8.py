@@ -1,0 +1,113 @@
+"""Fixed-point INT8 GEMM with dynamic activation quantization.
+
+The uniform-quantization counterpart the paper compares against in
+Section II-A and Table I: weights are quantized offline to signed 8-bit
+(per-row symmetric grids), activations are quantized *on the fly* per
+call (the dynamic step INT8 inference requires), the product is computed
+in integer arithmetic, and the result is dequantized back to float.
+
+The paper's criticisms of this scheme are visible in the implementation:
+
+- activations must be quantized per call (extra work, and lossy);
+- the float->int->float conversions around every GEMM are the "frequent
+  conversions between fixed-point formats and floating-point formats
+  [that] would incur 15%~30% computational overhead" [16];
+- operations other than the GEMM itself (layernorm, softmax) still need
+  float, so the conversions cannot be amortized away.
+
+``repro.hw.costmodel.estimate_int8_gemm`` prices the same pipeline on
+the simulated machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_2d_float, check_positive_int
+from repro.quant.uniform import UniformQuantized, uniform_quantize
+
+__all__ = ["Int8Gemm", "quantize_activations_int8"]
+
+
+def quantize_activations_int8(
+    x: np.ndarray, bits: int = 8
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-column activation quantization (dynamic step).
+
+    Returns ``(codes, scales)`` with ``codes`` int32 of x's shape and
+    ``scales`` of shape ``(1, b)``; ``x ~ codes * scales``.
+    """
+    check_positive_int(bits, "bits", upper=16)
+    if bits < 2:
+        raise ValueError("activation quantization needs bits >= 2")
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {arr.shape}")
+    qmax = (1 << (bits - 1)) - 1
+    amax = np.abs(arr).max(axis=0, keepdims=True)
+    scales = np.where(amax > 0, amax / qmax, 1.0)
+    codes = np.clip(np.round(arr / scales), -qmax - 1, qmax).astype(np.int32)
+    return codes, scales
+
+
+class Int8Gemm:
+    """Integer GEMM engine over uniformly quantized weights.
+
+    Weights are quantized once at construction (per-row symmetric
+    ``w_bits`` grid); :meth:`matmul` performs the dynamic activation
+    quantization, the int32-accumulated integer product, and the final
+    dequantization ``(row_scale x col_scale) * accumulator``.
+    """
+
+    def __init__(self, w: np.ndarray, *, w_bits: int = 8):
+        mat = as_2d_float(w, "w")
+        check_positive_int(w_bits, "w_bits", upper=16)
+        if w_bits < 2:
+            raise ValueError("weight quantization needs bits >= 2")
+        self._m, self._n = map(int, mat.shape)
+        self._w_bits = w_bits
+        self._wq: UniformQuantized = uniform_quantize(mat, w_bits, per_row=True)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical ``(m, n)``."""
+        return (self._m, self._n)
+
+    @property
+    def w_bits(self) -> int:
+        """Weight grid resolution in bits."""
+        return self._w_bits
+
+    @property
+    def weight_nbytes(self) -> float:
+        """Deployed weight bytes at the nominal bit width plus scales."""
+        return self._wq.nbytes_ideal + self._m * 4
+
+    def dequantized(self) -> np.ndarray:
+        """The effective dense weight the integer pipeline computes with."""
+        return self._wq.dequantize()
+
+    def matmul(self, x: np.ndarray, *, a_bits: int = 8) -> np.ndarray:
+        """``Q(w) @ Q(x)`` in integer arithmetic, dequantized to float.
+
+        ``x`` is ``(n, b)`` or ``(n,)``; activations are re-quantized on
+        every call (dynamic quantization).  int32 accumulation is exact
+        for ``n < 2^31 / (2^{w_bits-1} * 2^{a_bits-1})`` -- about 131k
+        inner length at 8/8, far beyond the paper's shapes.
+        """
+        arr = np.asarray(x, dtype=np.float64)
+        vector_in = arr.ndim == 1
+        if vector_in:
+            arr = arr[:, None]
+        if arr.ndim != 2 or arr.shape[0] != self._n:
+            raise ValueError(
+                f"x must be ({self._n}, b), got shape {np.asarray(x).shape}"
+            )
+        codes, col_scales = quantize_activations_int8(arr, a_bits)
+        acc = self._wq.q.astype(np.int64) @ codes.astype(np.int64)
+        row_scales = np.asarray(self._wq.scale).reshape(self._m, 1)
+        out = row_scales * col_scales * acc.astype(np.float64)
+        return out[:, 0] if vector_in else out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Int8Gemm(m={self._m}, n={self._n}, w_bits={self._w_bits})"

@@ -1,0 +1,79 @@
+"""Textbook GEMM kernels (the paper's ``kCpu`` / ``kGpu`` analogues).
+
+The paper uses the classic triple-loop formulation [51] on CPU and the
+Volkov-Demmel sample kernel [53] on GPU as "what a straightforwardly
+written kernel achieves" baselines.  :func:`gemm_reference` is the exact
+scalar triple loop (kept deliberately unvectorized -- it is the
+correctness oracle and the honest lower bound); :func:`gemm_blocked` is
+the cache-blocked variant, the usual first optimization and this repo's
+``kCpu`` performance stand-in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = ["gemm_reference", "gemm_blocked"]
+
+
+def _validate(w: np.ndarray, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, bool]:
+    wm = np.asarray(w, dtype=np.float64)
+    xm = np.asarray(x, dtype=np.float64)
+    if wm.ndim != 2:
+        raise ValueError(f"w must be 2-D, got shape {wm.shape}")
+    vector_in = xm.ndim == 1
+    if vector_in:
+        xm = xm[:, None]
+    if xm.ndim != 2:
+        raise ValueError(f"x must be 1-D or 2-D, got shape {x.shape}")
+    if wm.shape[1] != xm.shape[0]:
+        raise ValueError(
+            f"inner dimensions disagree: w is {wm.shape}, x is {xm.shape}"
+        )
+    return wm, xm, vector_in
+
+
+def gemm_reference(w: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Scalar triple-loop GEMM.  O(m*n*b) Python-level operations.
+
+    Only suitable for small shapes (tests); every other engine in the
+    package is validated against this one.
+    """
+    wm, xm, vector_in = _validate(w, x)
+    m, n = wm.shape
+    b = xm.shape[1]
+    out = np.zeros((m, b), dtype=np.float64)
+    for i in range(m):
+        for k in range(b):
+            acc = 0.0
+            for j in range(n):
+                acc += wm[i, j] * xm[j, k]
+            out[i, k] = acc
+    return out[:, 0] if vector_in else out
+
+
+def gemm_blocked(w: np.ndarray, x: np.ndarray, *, block: int = 64) -> np.ndarray:
+    """Cache-blocked GEMM built from small dense sub-products.
+
+    Splits all three loop dimensions into *block*-sized panels and
+    accumulates panel products.  The panel products themselves use numpy
+    (vectorized), making this the performance analogue of a hand-blocked
+    ``kCpu`` kernel rather than a BLAS call.
+    """
+    check_positive_int(block, "block")
+    wm, xm, vector_in = _validate(w, x)
+    m, n = wm.shape
+    b = xm.shape[1]
+    out = np.zeros((m, b), dtype=np.float64)
+    for j0 in range(0, n, block):
+        j1 = min(j0 + block, n)
+        w_panel = wm[:, j0:j1]
+        x_panel = xm[j0:j1]
+        for i0 in range(0, m, block):
+            i1 = min(i0 + block, m)
+            for k0 in range(0, b, block):
+                k1 = min(k0 + block, b)
+                out[i0:i1, k0:k1] += w_panel[i0:i1] @ x_panel[:, k0:k1]
+    return out[:, 0] if vector_in else out

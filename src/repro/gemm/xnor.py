@@ -1,0 +1,171 @@
+"""XNOR-popcount GEMM (paper Eq. 3 and the ``xnor`` baseline of Table IV).
+
+When *both* operands are binary-coding quantized, a ``{-1,+1}`` dot
+product reduces to bit logic: with ``+1 -> 1`` packing,
+
+    dot(w, s) = n - 2 * popcount(w XOR s)
+
+so a multiply-accumulate over ``n`` elements becomes ``n/64`` XOR +
+popcount word operations.  Multi-bit operands expand into the double sum
+of paper Eq. 3: ``y = sum_i sum_j alpha_i gamma_j (B_i . s_j)``.
+
+The catch the paper emphasizes: activations must be quantized *on the
+fly* (the ``gamma_j, s_j`` here are computed per call), which costs
+extra work, needs training-side support to preserve accuracy, and is
+exactly what BiQGEMM avoids.  The activation-quantization cost is part
+of :meth:`XnorGemm.matmul` on purpose.
+
+Padding note: :func:`repro.quant.packing.pack_bits` pads both operands
+with bit ``0``; padded positions therefore always match, XOR yields 0
+there, and ``n - 2*popcount`` is exact without any correction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_binary, check_positive_int
+from repro.quant.greedy import greedy_bcq
+from repro.quant.packing import pack_bits
+
+__all__ = ["XnorGemm", "xnor_popcount_dot"]
+
+_CHUNK_ELEMENTS = 1 << 22
+"""Upper bound on the XOR temporary (words) per chunk, ~32 MiB of uint64."""
+
+
+def xnor_popcount_dot(
+    w_words: np.ndarray, s_words: np.ndarray, n: int
+) -> np.ndarray:
+    """All-pairs ``{-1,+1}`` dot products from packed words.
+
+    Parameters
+    ----------
+    w_words:
+        ``(m, n_words)`` packed weight rows (uint64).
+    s_words:
+        ``(b, n_words)`` packed activation columns (uint64).
+    n:
+        True (unpadded) vector length.
+
+    Returns
+    -------
+    ``(m, b)`` int64 matrix of exact dot products.
+    """
+    wm = np.asarray(w_words)
+    sm = np.asarray(s_words)
+    if wm.ndim != 2 or sm.ndim != 2:
+        raise ValueError(
+            f"packed operands must be 2-D, got {wm.shape} and {sm.shape}"
+        )
+    if wm.shape[1] != sm.shape[1]:
+        raise ValueError(
+            f"word counts disagree: {wm.shape[1]} vs {sm.shape[1]}"
+        )
+    check_positive_int(n, "n")
+    m, n_words = wm.shape
+    b = sm.shape[0]
+    out = np.empty((m, b), dtype=np.int64)
+    chunk_b = max(1, _CHUNK_ELEMENTS // max(m * n_words, 1))
+    for c0 in range(0, b, chunk_b):
+        c1 = min(c0 + chunk_b, b)
+        xored = np.bitwise_xor(wm[:, None, :], sm[None, c0:c1, :])
+        popc = np.bitwise_count(xored).sum(axis=2, dtype=np.int64)
+        out[:, c0:c1] = n - 2 * popc
+    return out
+
+
+class XnorGemm:
+    """Bit-logic GEMM over binary-coded weights and activations.
+
+    Weights are packed once at construction; activations are quantized
+    and packed per :meth:`matmul` call (the dynamic-quantization overhead
+    the paper discusses in Section II).
+    """
+
+    def __init__(self, binary: np.ndarray, alphas: np.ndarray | None = None):
+        arr = check_binary(binary, "binary")
+        if arr.ndim == 2:
+            arr = arr[None, ...]
+        if arr.ndim != 3:
+            raise ValueError(f"binary must be 2-D or 3-D, got shape {arr.shape}")
+        self._bits, self._m, self._n = arr.shape
+        if alphas is None:
+            alphas = np.ones((self._bits, self._m), dtype=np.float64)
+        alphas = np.asarray(alphas, dtype=np.float64)
+        if alphas.ndim == 1:
+            alphas = alphas[None, :]
+        if alphas.shape != (self._bits, self._m):
+            raise ValueError(
+                f"alphas must have shape ({self._bits}, {self._m}), "
+                f"got {alphas.shape}"
+            )
+        self._alphas = alphas
+        self._packed = [
+            pack_bits(arr[i], container_bits=64).words for i in range(self._bits)
+        ]
+
+    @classmethod
+    def from_float(
+        cls, w: np.ndarray, *, bits: int, method: str = "greedy"
+    ) -> "XnorGemm":
+        """Quantize a dense float weight matrix and build the engine."""
+        from repro.quant.bcq import bcq_quantize
+
+        bcq = bcq_quantize(w, bits, method=method)
+        return cls(bcq.binary, bcq.alphas)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical ``(m, n)``."""
+        return (self._m, self._n)
+
+    @property
+    def weight_bits(self) -> int:
+        """Weight quantization bit planes (``beta_w``)."""
+        return self._bits
+
+    @property
+    def weight_nbytes(self) -> int:
+        """Bytes of packed weight words plus scales."""
+        return sum(p.nbytes for p in self._packed) + self._alphas.nbytes
+
+    def matmul(self, x: np.ndarray, *, a_bits: int = 1) -> np.ndarray:
+        """``W_quantized @ Q(x)`` with *a_bits* activation quantization.
+
+        The activation matrix ``x`` of shape ``(n, b)`` (or ``(n,)``) is
+        greedily binary-coded per column into ``a_bits`` planes, packed,
+        and combined through XOR-popcount (Eq. 3).  Time complexity
+        ``O(beta_w * beta_a * m * (n/64) * b)`` word ops.
+        """
+        check_positive_int(a_bits, "a_bits", upper=8)
+        xm = np.asarray(x, dtype=np.float64)
+        vector_in = xm.ndim == 1
+        if vector_in:
+            xm = xm[:, None]
+        if xm.ndim != 2 or xm.shape[0] != self._n:
+            raise ValueError(
+                f"x must be ({self._n}, b), got shape {np.asarray(x).shape}"
+            )
+        gammas, s_planes = greedy_bcq(xm, a_bits, axis=0)
+        # gammas: (a_bits, b); s_planes: (a_bits, n, b)
+        b = xm.shape[1]
+        out = np.zeros((self._m, b), dtype=np.float64)
+        for j in range(a_bits):
+            s_words = pack_bits(
+                np.ascontiguousarray(s_planes[j].T), container_bits=64
+            ).words  # (b, n_words)
+            for i in range(self._bits):
+                dots = xnor_popcount_dot(self._packed[i], s_words, self._n)
+                out += (
+                    self._alphas[i][:, None]
+                    * gammas[j][None, :]
+                    * dots.astype(np.float64)
+                )
+        return out[:, 0] if vector_in else out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"XnorGemm(m={self._m}, n={self._n}, bits={self._bits}, "
+            f"packed={self.weight_nbytes}B)"
+        )

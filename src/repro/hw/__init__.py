@@ -1,0 +1,59 @@
+"""Simulated hardware substrate.
+
+The paper evaluates on three machines (Table III): a Cortex-A76 phone,
+an i7-7700 desktop and a Tesla V100.  None are available to this
+reproduction, so this subpackage models them:
+
+- :mod:`repro.hw.machine` -- machine parameter dataclasses populated
+  from Table III, plus per-engine calibration constants;
+- :mod:`repro.hw.costmodel` -- an analytic roofline cost model that
+  predicts kernel runtimes for every engine (BLAS GEMM, naive GEMM,
+  packed GEMM, BiQGEMM, XNOR); this is the instrument that regenerates
+  the *shape* of Table IV and Fig. 10;
+- :mod:`repro.hw.memory` -- the Table II footprint model (exact);
+- :mod:`repro.hw.cache` -- SRAM/L1 working-set feasibility, the
+  mechanism behind the paper's large-batch degradation discussion;
+- :mod:`repro.hw.simulator` -- an operation-counting replay of the
+  kernel's tile schedule, validating the paper's complexity claims
+  (Eq. 6-10).
+"""
+
+from repro.hw.machine import MachineConfig, CostTuning, MACHINES
+from repro.hw.costmodel import (
+    CostEstimate,
+    estimate,
+    estimate_gemm,
+    estimate_biqgemm,
+    estimate_xnor,
+    estimate_packed_gemm,
+    estimate_int8_gemm,
+)
+from repro.hw.memory import MemoryUsage, memory_usage, table2_rows
+from repro.hw.cache import lut_working_set_bytes, spill_factor, max_resident_groups
+from repro.hw.cachesim import CacheConfig, CacheSim, simulate_query_hit_rate
+from repro.hw.simulator import OpCounts, simulate_biqgemm, simulate_gemm
+
+__all__ = [
+    "MachineConfig",
+    "CostTuning",
+    "MACHINES",
+    "CostEstimate",
+    "estimate",
+    "estimate_gemm",
+    "estimate_biqgemm",
+    "estimate_xnor",
+    "estimate_packed_gemm",
+    "estimate_int8_gemm",
+    "MemoryUsage",
+    "memory_usage",
+    "table2_rows",
+    "lut_working_set_bytes",
+    "spill_factor",
+    "max_resident_groups",
+    "CacheConfig",
+    "CacheSim",
+    "simulate_query_hit_rate",
+    "OpCounts",
+    "simulate_biqgemm",
+    "simulate_gemm",
+]

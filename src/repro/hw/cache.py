@@ -1,0 +1,54 @@
+"""SRAM/L1 working-set model for lookup tables.
+
+Paper Section III-C: "BiQGEMM is desired to produce lookup tables (that
+are usually larger than an input matrix) to be placed in SRAM, an
+available range of tile size would be highly constrained" -- on CPUs,
+once a single table (``2^mu * 4 * batch`` bytes) outgrows L1, gathers
+start missing and throughput degrades; this is the mechanism behind the
+large-batch crossovers of Fig. 10.  GPUs stage tables in scratchpad and
+largely avoid the penalty (``spill_exponent = 0`` in their tuning).
+"""
+
+from __future__ import annotations
+
+from repro._util import check_positive_int
+from repro.hw.machine import MachineConfig
+
+__all__ = ["lut_working_set_bytes", "max_resident_groups", "spill_factor"]
+
+
+def lut_working_set_bytes(mu: int, batch: int, *, itemsize: int = 4) -> int:
+    """Bytes of one sub-vector's lookup table: ``2^mu * batch * itemsize``."""
+    check_positive_int(mu, "mu", upper=24)
+    check_positive_int(batch, "batch")
+    check_positive_int(itemsize, "itemsize")
+    return (1 << mu) * batch * itemsize
+
+
+def max_resident_groups(
+    machine: MachineConfig, mu: int, batch: int, *, itemsize: int = 4
+) -> int:
+    """How many tables fit in one unit's L1/scratchpad (at least 1).
+
+    The LUT-stationary tile width ``w_t`` of paper Fig. 7 is bounded by
+    this number on real hardware.
+    """
+    per_table = lut_working_set_bytes(mu, batch, itemsize=itemsize)
+    return max(1, machine.l1d_bytes // per_table)
+
+
+def spill_factor(machine: MachineConfig, mu: int, batch: int) -> float:
+    """Gather-throughput multiplier in (0, 1] from L1 pressure.
+
+    ``1.0`` while one table fits in L1; otherwise
+    ``(l1d / table_bytes) ** spill_exponent`` -- a soft penalty
+    (exponent 0.5 on the CPUs; 0 on the GPU, where the paper notes the
+    scratchpad hides irregular accesses).
+    """
+    exponent = machine.tuning.spill_exponent
+    if exponent == 0.0:
+        return 1.0
+    table = lut_working_set_bytes(mu, batch)
+    if table <= machine.l1d_bytes:
+        return 1.0
+    return float((machine.l1d_bytes / table) ** exponent)

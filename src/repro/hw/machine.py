@@ -1,0 +1,242 @@
+"""Machine configurations (paper Table III) and calibration constants.
+
+``MachineConfig`` carries the published hardware parameters; the
+``CostTuning`` attached to each machine carries the *calibration
+constants* of the cost model -- efficiency factors that cannot be read
+off a datasheet (achieved BLAS fraction-of-peak, gather throughput,
+kernel launch overhead, ...).  They were fitted once against the
+absolute runtimes the paper reports (Table IV anchor points and the
+Fig. 10 crossovers) and are documented per field; the test suite pins
+the *qualitative* behaviour (orderings, crossovers), not these exact
+numbers.
+
+Notes on Table III values
+-------------------------
+- FLOPS column reads ``19.36G x 4`` / ``57.6G x 4`` / ``181.87G x 4``;
+  for the CPUs the multiplier is the core count.  For the V100 the
+  181.87 GFLOPS figure is per SM (80 SMs at 1.42 GHz boost, 64 FP32
+  lanes, 2 ops/FMA: ``1.42e9 * 64 * 2 = 181.8G``), so the machine total
+  is ``181.87G x 80 = 14.55 TFLOPS`` -- the published V100 peak.  We use
+  the per-unit interpretation throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostTuning", "MachineConfig", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class CostTuning:
+    """Cost-model calibration constants for one machine.
+
+    Attributes
+    ----------
+    gemm_eff_max:
+        Fraction of peak FLOPS a well-tuned BLAS reaches at large batch.
+    gemm_b_half:
+        Batch size at which BLAS efficiency reaches half of
+        ``gemm_eff_max`` (saturating ``b / (b + b_half)`` curve) --
+        models the poor arithmetic intensity of GEMV/skinny GEMM.
+    naive_eff_max:
+        Same, for the textbook kernel (paper ``kCpu``/``kGpu``).
+    naive_bw_fraction:
+        Fraction of peak DRAM bandwidth the naive kernel sustains.
+    single_unit_bw_fraction:
+        Fraction of machine bandwidth one core can draw (1.0 on the GPU
+        where a kernel spans all SMs).
+    gather_eta:
+        Table-lookup (gather + accumulate) throughput as a fraction of
+        FMA-lane throughput; the paper's Section III-C "low data access
+        locality" penalty.
+    keys_per_cycle:
+        Key-decode/address-generation throughput per cycle per unit for
+        the query loop; ``0`` disables the explicit key-overhead term
+        (GPU: folded into ``gather_eta``).
+    int_op_eff:
+        XNOR/popcount word-op throughput as a fraction of peak FLOPS.
+    spill_exponent:
+        Exponent of the L1-spill degradation ``(l1d / lut_bytes)^e``
+        applied to gather throughput when one table exceeds L1
+        (``0`` disables; the paper argues scratchpad GPUs do not pay
+        this).
+    unpack_weights_per_cycle:
+        Weights extracted per cycle per unit by paper Algorithm 3
+        (4 scalar ops per weight on a ~4-wide scalar pipe = ~1/cycle).
+    overhead_blas_s / overhead_kernel_s / overhead_xnor_s:
+        Fixed per-call overheads (GPU kernel launch, library dispatch).
+    """
+
+    gemm_eff_max: float
+    gemm_b_half: float
+    naive_eff_max: float
+    naive_bw_fraction: float
+    single_unit_bw_fraction: float
+    gather_eta: float
+    keys_per_cycle: float
+    int_op_eff: float
+    spill_exponent: float
+    unpack_weights_per_cycle: float = 1.0
+    overhead_blas_s: float = 0.0
+    overhead_kernel_s: float = 0.0
+    overhead_naive_s: float = 0.0
+    overhead_xnor_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One row of the paper's Table III plus derived quantities.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    units:
+        Cores (CPU) or SMs (GPU).
+    simd_lanes:
+        FP32 SIMD lanes per unit.
+    l1d_bytes:
+        L1 data cache (CPU) or shared memory/L1 (GPU) per unit, bytes.
+    dram_bytes:
+        Main-memory capacity, bytes.
+    bandwidth:
+        Peak DRAM bandwidth, bytes/second.
+    flops_per_unit:
+        Peak FP32 FLOPS per unit (2 ops per FMA).
+    is_gpu:
+        GPUs always engage all units; CPUs engage ``threads`` units.
+    tuning:
+        Calibration constants (see :class:`CostTuning`).
+    """
+
+    name: str
+    units: int
+    simd_lanes: int
+    l1d_bytes: int
+    dram_bytes: int
+    bandwidth: float
+    flops_per_unit: float
+    is_gpu: bool
+    tuning: CostTuning = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        for attr in ("units", "simd_lanes", "l1d_bytes", "dram_bytes"):
+            if getattr(self, attr) < 1:
+                raise ValueError(f"{attr} must be >= 1")
+        if self.bandwidth <= 0 or self.flops_per_unit <= 0:
+            raise ValueError("bandwidth and flops_per_unit must be positive")
+        if self.tuning is None:
+            raise ValueError("a CostTuning must be provided")
+
+    @property
+    def flops_total(self) -> float:
+        """Peak FP32 FLOPS across all units."""
+        return self.flops_per_unit * self.units
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Clock estimate: ``flops_per_unit / (2 * simd_lanes)`` (1 FMA/lane/cycle)."""
+        return self.flops_per_unit / (2.0 * self.simd_lanes)
+
+    def units_engaged(self, threads: int) -> int:
+        """Execution units active for a *threads*-thread kernel."""
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        if self.is_gpu:
+            return self.units
+        return min(threads, self.units)
+
+
+_MOBILE_TUNING = CostTuning(
+    # Eigen on AArch64 NEON: modest peak fraction, very poor at GEMV.
+    gemm_eff_max=0.50,
+    gemm_b_half=4.0,
+    naive_eff_max=0.25,
+    naive_bw_fraction=0.4,
+    # One A76 core draws roughly a third of the LPDDR4X channel peak.
+    single_unit_bw_fraction=0.35,
+    gather_eta=0.5,
+    keys_per_cycle=2.0,
+    int_op_eff=0.25,
+    spill_exponent=0.5,
+)
+
+_PC_TUNING = CostTuning(
+    # MKL/Eigen on AVX2 reach ~75% of peak for square-ish GEMM and
+    # saturate quickly with batch; one core pulls ~70% of dual-channel
+    # DDR4 bandwidth.
+    gemm_eff_max=0.75,
+    gemm_b_half=2.0,
+    naive_eff_max=0.30,
+    naive_bw_fraction=0.5,
+    single_unit_bw_fraction=0.7,
+    gather_eta=0.5,
+    keys_per_cycle=2.0,
+    int_op_eff=0.25,
+    spill_exponent=0.5,
+)
+
+_V100_TUNING = CostTuning(
+    # cuBLAS is near-peak for large batch; fixed ~10us library/launch
+    # overhead dominates tiny problems (Table IV 512/b=1: 12us).
+    gemm_eff_max=1.0,
+    gemm_b_half=16.0,
+    # kGpu (Volkov-Demmel sample) sustains ~25% of peak and ~35% of BW
+    # (fitted to Table IV: 4096/b=256 -> 2516us, 4096/b=1 -> 213us).
+    naive_eff_max=0.25,
+    naive_bw_fraction=0.35,
+    single_unit_bw_fraction=1.0,
+    # Shared-memory gathers: ~0.07 of FMA-lane rate, flat in batch
+    # (fitted to Table IV BiQGEMM column: 4096/b=32..256 imply a steady
+    # ~0.5e12 lookups/s).  Key decode is folded in (keys_per_cycle=0).
+    gather_eta=0.07,
+    keys_per_cycle=0.0,
+    int_op_eff=0.25,
+    # Paper Section III-B: scratchpad makes irregular access "not as
+    # critical as that of CPU" -- no L1 spill penalty on the GPU.
+    spill_exponent=0.0,
+    overhead_blas_s=10e-6,
+    overhead_kernel_s=3e-6,
+    # The sample kGpu kernel pays a large fixed setup cost (Table IV
+    # shows a ~20us floor at 512/b=1).
+    overhead_naive_s=15e-6,
+    overhead_xnor_s=15e-6,
+)
+
+MACHINES: dict[str, MachineConfig] = {
+    "mobile": MachineConfig(
+        name="Mobile (Cortex-A76)",
+        units=4,
+        simd_lanes=4,
+        l1d_bytes=64 * 1024,
+        dram_bytes=8 * 1024**3,
+        bandwidth=31.8e9,
+        flops_per_unit=19.36e9,
+        is_gpu=False,
+        tuning=_MOBILE_TUNING,
+    ),
+    "pc": MachineConfig(
+        name="PC (i7-7700)",
+        units=4,
+        simd_lanes=8,
+        l1d_bytes=32 * 1024,
+        dram_bytes=16 * 1024**3,
+        bandwidth=35.76e9,
+        flops_per_unit=57.6e9,
+        is_gpu=False,
+        tuning=_PC_TUNING,
+    ),
+    "v100": MachineConfig(
+        name="GPGPU (Tesla V100)",
+        units=80,
+        simd_lanes=64,
+        l1d_bytes=128 * 1024,
+        dram_bytes=16 * 1024**3,
+        bandwidth=900e9,
+        flops_per_unit=181.87e9,
+        is_gpu=True,
+        tuning=_V100_TUNING,
+    ),
+}
+"""Registry keyed by the short names used throughout the benches."""

@@ -1,0 +1,96 @@
+"""Memory-footprint model (paper Table II).
+
+Pure arithmetic over tensor shapes and bit widths: weights ``m x n`` at
+``w_bits``, inputs ``n x b`` at ``a_bits``, outputs ``m x b`` at
+``o_bits``.  The paper reports megabytes as ``bytes / 1e6`` (512*512*4 B
+-> 1.049 MB), which this module follows, and uses a batch of 18 -- the
+average sub-word count of its test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive_int
+
+__all__ = ["MemoryUsage", "memory_usage", "table2_rows", "TABLE2_CONFIGS"]
+
+
+@dataclass(frozen=True)
+class MemoryUsage:
+    """Footprint of one layer's GEMM operands, in MB (``bytes / 1e6``)."""
+
+    weights_mb: float
+    inputs_mb: float
+    outputs_mb: float
+
+    @property
+    def total_mb(self) -> float:
+        """Sum of all three operands."""
+        return self.weights_mb + self.inputs_mb + self.outputs_mb
+
+
+def memory_usage(
+    m: int,
+    n: int,
+    batch: int,
+    *,
+    weight_bits: int,
+    act_bits: int,
+    out_bits: int = 32,
+) -> MemoryUsage:
+    """Operand footprints for a ``(m, n) @ (n, batch)`` product.
+
+    ``weight_bits``/``act_bits``/``out_bits`` are the storage widths per
+    element; fractional bytes are kept exact (bits / 8).
+    """
+    check_positive_int(m, "m")
+    check_positive_int(n, "n")
+    check_positive_int(batch, "batch")
+    check_positive_int(weight_bits, "weight_bits", upper=64)
+    check_positive_int(act_bits, "act_bits", upper=64)
+    check_positive_int(out_bits, "out_bits", upper=64)
+    return MemoryUsage(
+        weights_mb=m * n * weight_bits / 8 / 1e6,
+        inputs_mb=n * batch * act_bits / 8 / 1e6,
+        outputs_mb=m * batch * out_bits / 8 / 1e6,
+    )
+
+
+TABLE2_CONFIGS: tuple[tuple[int, int], ...] = (
+    (32, 32),
+    (8, 8),
+    (6, 6),
+    (4, 4),
+    (4, 32),
+    (3, 32),
+    (2, 32),
+)
+"""(weight_bits, act_bits) rows of the paper's Table II."""
+
+
+def table2_rows(
+    m: int = 512, n: int = 512, batch: int = 18
+) -> list[dict[str, float]]:
+    """Regenerate the paper's Table II (512x512 weights, batch 18).
+
+    Returns one dict per row with the W/A bit widths and the W/I/O/total
+    megabytes, in the paper's row order.
+    """
+    rows = []
+    for w_bits, a_bits in TABLE2_CONFIGS:
+        usage = memory_usage(
+            m, n, batch, weight_bits=w_bits, act_bits=a_bits, out_bits=32
+        )
+        rows.append(
+            {
+                "w_bits": w_bits,
+                "a_bits": a_bits,
+                "o_bits": 32,
+                "weights_mb": usage.weights_mb,
+                "inputs_mb": usage.inputs_mb,
+                "outputs_mb": usage.outputs_mb,
+                "total_mb": usage.total_mb,
+            }
+        )
+    return rows

@@ -1,0 +1,66 @@
+"""Inference-only DNN substrate built on the matmul engines.
+
+The paper motivates BiQGEMM with NLP workloads (Section II-C):
+Transformer encoder/decoder stacks, BERT-style encoders and LSTM-based
+ASR models, all dominated by ``(m x n) @ (n x b)`` products with ``m, n``
+in the thousands.  This subpackage provides numpy implementations of
+those layers with a pluggable linear backend, so a whole model can run
+its projections through BiQGEMM, XNOR-GEMM, packed GEMM or dense BLAS
+and the outputs can be compared end to end.
+
+- :mod:`repro.nn.functional` -- softmax, layernorm, activations;
+- :mod:`repro.nn.linear` -- :class:`~repro.nn.linear.Linear` /
+  :class:`~repro.nn.linear.QuantLinear` and the
+  :class:`~repro.nn.linear.QuantSpec` backend selector;
+- :mod:`repro.nn.embedding` -- token embeddings + sinusoidal positions;
+- :mod:`repro.nn.attention` -- multi-head attention;
+- :mod:`repro.nn.transformer` -- encoder/decoder layers and stacks;
+- :mod:`repro.nn.lstm` -- LSTM cells/layers (LAS-style ASR encoder);
+- :mod:`repro.nn.model_zoo` -- the paper's Section II-C model shapes.
+"""
+
+from repro.nn.functional import softmax, layer_norm, relu, gelu, sigmoid, tanh
+from repro.nn.linear import Linear, QuantLinear, QuantSpec, make_linear
+from repro.nn.embedding import Embedding, positional_encoding
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import (
+    TransformerConfig,
+    TransformerEncoderLayer,
+    TransformerDecoderLayer,
+    TransformerEncoder,
+)
+from repro.nn.lstm import LSTMCell, LSTMLayer, BiLSTMLayer
+from repro.nn.conv import QuantConv2d, conv2d_gemm, conv2d_reference, im2col
+from repro.nn.seq2seq import Seq2SeqTransformer
+from repro.nn.model_zoo import MODEL_SHAPES, model_gemm_shapes, build_encoder
+
+__all__ = [
+    "softmax",
+    "layer_norm",
+    "relu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "Linear",
+    "QuantLinear",
+    "QuantSpec",
+    "make_linear",
+    "Embedding",
+    "positional_encoding",
+    "MultiHeadAttention",
+    "TransformerConfig",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "TransformerEncoder",
+    "LSTMCell",
+    "LSTMLayer",
+    "BiLSTMLayer",
+    "QuantConv2d",
+    "conv2d_gemm",
+    "conv2d_reference",
+    "im2col",
+    "Seq2SeqTransformer",
+    "MODEL_SHAPES",
+    "model_gemm_shapes",
+    "build_encoder",
+]

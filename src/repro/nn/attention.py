@@ -1,0 +1,95 @@
+"""Multi-head attention (the paper's Section II-C attention block).
+
+One attention block holds four ``(n x n)`` projection matrices (Q, K, V
+and the output projection) -- precisely the GEMMs the paper quantizes.
+The projections are injected through the linear factory so the whole
+block can run on any engine; the ``QK^T`` / ``AV`` products operate on
+two activations and stay dense float (weight-only quantization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.nn.functional import softmax
+from repro.nn.linear import QuantSpec, make_linear
+
+__all__ = ["MultiHeadAttention"]
+
+
+class MultiHeadAttention:
+    """Scaled dot-product attention with ``heads`` parallel heads.
+
+    Parameters
+    ----------
+    wq, wk, wv, wo:
+        Projection weights, each ``(dim, dim)``.
+    heads:
+        Head count; must divide ``dim``.
+    spec:
+        Optional :class:`~repro.nn.linear.QuantSpec` quantizing all four
+        projections.
+    """
+
+    def __init__(
+        self,
+        wq: np.ndarray,
+        wk: np.ndarray,
+        wv: np.ndarray,
+        wo: np.ndarray,
+        *,
+        heads: int,
+        spec: QuantSpec | None = None,
+    ):
+        check_positive_int(heads, "heads")
+        dim = np.asarray(wq).shape[0]
+        for name, w in (("wq", wq), ("wk", wk), ("wv", wv), ("wo", wo)):
+            shape = np.asarray(w).shape
+            if shape != (dim, dim):
+                raise ValueError(f"{name} must be ({dim}, {dim}), got {shape}")
+        if dim % heads != 0:
+            raise ValueError(f"heads={heads} must divide dim={dim}")
+        self.dim = int(dim)
+        self.heads = heads
+        self.head_dim = self.dim // heads
+        self.q_proj = make_linear(wq, spec=spec)
+        self.k_proj = make_linear(wk, spec=spec)
+        self.v_proj = make_linear(wv, spec=spec)
+        self.o_proj = make_linear(wo, spec=spec)
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        # (batch, seq, dim) -> (batch, heads, seq, head_dim)
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def __call__(
+        self,
+        query: np.ndarray,
+        key_value: np.ndarray | None = None,
+        *,
+        mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Attend *query* over *key_value* (self-attention when omitted).
+
+        Shapes: ``query`` is ``(batch, seq_q, dim)``; ``key_value`` is
+        ``(batch, seq_kv, dim)``; ``mask`` broadcasts against
+        ``(batch, heads, seq_q, seq_kv)`` with ``True`` = *masked out*.
+        """
+        q_in = np.asarray(query, dtype=np.float64)
+        if q_in.ndim != 3 or q_in.shape[-1] != self.dim:
+            raise ValueError(
+                f"query must be (batch, seq, {self.dim}), got {q_in.shape}"
+            )
+        kv_in = q_in if key_value is None else np.asarray(key_value, np.float64)
+        q = self._split(self.q_proj(q_in))
+        k = self._split(self.k_proj(kv_in))
+        v = self._split(self.v_proj(kv_in))
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        if mask is not None:
+            scores = np.where(np.asarray(mask, dtype=bool), -1e30, scores)
+        attn = softmax(scores, axis=-1)
+        ctx = attn @ v  # (batch, heads, seq_q, head_dim)
+        b, _, s, _ = ctx.shape
+        merged = ctx.transpose(0, 2, 1, 3).reshape(b, s, self.dim)
+        return self.o_proj(merged)

@@ -1,0 +1,55 @@
+"""Token embeddings and sinusoidal positional encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_2d_float, check_positive_int
+
+__all__ = ["Embedding", "positional_encoding"]
+
+
+class Embedding:
+    """Lookup table mapping token ids to dense vectors."""
+
+    def __init__(self, table: np.ndarray):
+        self.table = as_2d_float(table, "table")
+
+    @property
+    def vocab_size(self) -> int:
+        """Number of rows (distinct token ids)."""
+        return int(self.table.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Embedding width."""
+        return int(self.table.shape[1])
+
+    def __call__(self, ids: np.ndarray) -> np.ndarray:
+        """Gather embeddings for integer *ids* of any shape."""
+        idx = np.asarray(ids)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError(f"ids must be integers, got dtype {idx.dtype}")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.vocab_size):
+            raise ValueError(
+                f"ids out of range [0, {self.vocab_size}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        return self.table[idx]
+
+
+def positional_encoding(length: int, dim: int) -> np.ndarray:
+    """Sinusoidal positions from "Attention Is All You Need".
+
+    ``PE[pos, 2i] = sin(pos / 10000^(2i/dim))``,
+    ``PE[pos, 2i+1] = cos(...)``; shape ``(length, dim)``.
+    """
+    check_positive_int(length, "length")
+    check_positive_int(dim, "dim")
+    pos = np.arange(length, dtype=np.float64)[:, None]
+    i = np.arange(dim, dtype=np.float64)[None, :]
+    angle = pos / np.power(10000.0, 2.0 * (i // 2) / dim)
+    out = np.empty((length, dim), dtype=np.float64)
+    out[:, 0::2] = np.sin(angle[:, 0::2])
+    out[:, 1::2] = np.cos(angle[:, 1::2])
+    return out

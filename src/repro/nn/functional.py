@@ -1,0 +1,70 @@
+"""Stateless neural-network functions.
+
+The non-GEMM operations the paper notes must stay in floating point
+(Section II-A: "layer normalization and softmax operations for attention
+blocks for Transformers demand floating-point computations") -- one of
+the arguments for weight-only quantization, since BiQGEMM keeps
+activations in float and needs no format conversions around these ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "layer_norm", "relu", "gelu", "sigmoid", "tanh"]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along *axis*."""
+    arr = np.asarray(x, dtype=np.float64)
+    shifted = arr - arr.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    *,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Layer normalization over the last axis with optional affine."""
+    arr = np.asarray(x, dtype=np.float64)
+    mean = arr.mean(axis=-1, keepdims=True)
+    var = arr.var(axis=-1, keepdims=True)
+    out = (arr - mean) / np.sqrt(var + eps)
+    if gamma is not None:
+        out = out * np.asarray(gamma, dtype=np.float64)
+    if beta is not None:
+        out = out + np.asarray(beta, dtype=np.float64)
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x), 0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, BERT-style)."""
+    arr = np.asarray(x, dtype=np.float64)
+    return 0.5 * arr * (
+        1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (arr + 0.044715 * arr**3))
+    )
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid, numerically stable on both tails."""
+    arr = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(arr)
+    pos = arr >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-arr[pos]))
+    ez = np.exp(arr[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(np.asarray(x, dtype=np.float64))

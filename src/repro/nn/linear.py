@@ -1,0 +1,219 @@
+"""Linear layers with pluggable matmul backends.
+
+:class:`Linear` is the dense float reference.  :class:`QuantLinear`
+quantizes its weight with BCQ at construction and dispatches the forward
+product to one of the engines this repo implements:
+
+``backend="biqgemm"``
+    :class:`repro.core.kernel.BiQGemm` -- the paper's kernel.
+``backend="xnor"``
+    :class:`repro.gemm.xnor.XnorGemm` -- activations quantized on the
+    fly (paper Eq. 3).
+``backend="unpack"``
+    Bit-packed weights decoded per call then BLAS
+    (:func:`repro.gemm.packed.gemm_with_unpack` semantics).
+``backend="container"``
+    The paper's sGEMM: binary components stored one per 32-bit
+    container, plain BLAS (no quantization benefit).
+``backend="dense"``
+    Dequantize once and use BLAS -- numerically identical to
+    ``biqgemm`` and used as its oracle in tests.
+
+Layer convention: activations are row vectors, ``y = x @ W^T + bias``
+with ``x`` shaped ``(..., n)`` and ``W`` shaped ``(m, n)``.  Internally
+the engines use the paper's column orientation; the layer handles the
+transposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro._util import as_2d_float
+from repro.core.kernel import BiQGemm
+from repro.gemm.packed import gemm_with_unpack
+from repro.gemm.sgemm import sgemm_container
+from repro.gemm.xnor import XnorGemm
+from repro.quant.bcq import BCQTensor, bcq_quantize
+from repro.quant.packing import pack_bits
+
+__all__ = ["Linear", "QuantLinear", "QuantSpec", "make_linear"]
+
+Backend = Literal["biqgemm", "xnor", "unpack", "container", "dense"]
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """How a :class:`QuantLinear` should quantize and compute.
+
+    Attributes
+    ----------
+    bits:
+        BCQ weight bits (paper: 1-3 for weights).
+    mu:
+        LUT-unit for the BiQGEMM backend.
+    method:
+        ``"greedy"`` or ``"alternating"`` BCQ solver.
+    backend:
+        Engine selection; see module docstring.
+    a_bits:
+        Activation bits for the ``xnor`` backend (ignored elsewhere).
+    """
+
+    bits: int = 3
+    mu: int = 8
+    method: str = "greedy"
+    backend: Backend = "biqgemm"
+    a_bits: int = 1
+
+
+class Linear:
+    """Dense float linear layer: ``y = x @ W^T + bias``."""
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None = None):
+        self.weight = as_2d_float(weight, "weight")
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (self.weight.shape[0],):
+                raise ValueError(
+                    f"bias must have shape ({self.weight.shape[0]},), "
+                    f"got {bias.shape}"
+                )
+        self.bias = bias
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Weight shape ``(m, n)``: maps ``n`` features to ``m``."""
+        return tuple(self.weight.shape)  # type: ignore[return-value]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Apply to ``(..., n)`` activations; returns ``(..., m)``."""
+        arr = np.asarray(x, dtype=np.float64)
+        out = arr @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class QuantLinear:
+    """BCQ-quantized linear layer with a selectable compute engine.
+
+    The float weight is quantized once at construction; the original
+    dense weight is *not* retained (matching deployment, where only the
+    compiled keys ship).  ``dequantized`` reconstructs the effective
+    weight for analysis.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray | None = None,
+        *,
+        spec: QuantSpec = QuantSpec(),
+    ):
+        w = as_2d_float(weight, "weight")
+        m = w.shape[0]
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (m,):
+                raise ValueError(f"bias must have shape ({m},), got {bias.shape}")
+        self.bias = bias
+        self.spec = spec
+        self._bcq: BCQTensor = bcq_quantize(w, spec.bits, method=spec.method)
+        self._shape = (int(w.shape[0]), int(w.shape[1]))
+        backend = spec.backend
+        if backend == "biqgemm":
+            self._engine = BiQGemm.from_bcq(self._bcq, mu=spec.mu)
+        elif backend == "xnor":
+            self._engine = XnorGemm(self._bcq.binary, self._bcq.alphas)
+        elif backend == "unpack":
+            self._packed = [
+                pack_bits(self._bcq.binary[i]) for i in range(spec.bits)
+            ]
+        elif backend in ("container", "dense"):
+            pass
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "dense":
+            self._dense = self._bcq.dequantize()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Weight shape ``(m, n)``."""
+        return self._shape
+
+    @property
+    def bcq(self) -> BCQTensor:
+        """The quantized weight representation."""
+        return self._bcq
+
+    def dequantized(self) -> np.ndarray:
+        """Effective dense weight implied by the quantization."""
+        return self._bcq.dequantize()
+
+    @property
+    def weight_nbytes(self) -> int:
+        """Deployed weight bytes for the chosen backend."""
+        backend = self.spec.backend
+        if backend == "biqgemm":
+            return self._engine.weight_nbytes
+        if backend == "xnor":
+            return self._engine.weight_nbytes
+        if backend == "unpack":
+            return sum(p.nbytes for p in self._packed) + self._bcq.alphas.nbytes
+        # container / dense: one float32 word per weight per plane.
+        bits, m, n = self._bcq.binary.shape
+        per_plane = m * n * 4
+        planes = bits if backend == "container" else 1
+        return planes * per_plane + self._bcq.alphas.nbytes
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Apply to ``(..., n)`` activations; returns ``(..., m)``."""
+        arr = np.asarray(x, dtype=np.float64)
+        lead = arr.shape[:-1]
+        n = self._shape[1]
+        if arr.shape[-1] != n:
+            raise ValueError(
+                f"input features {arr.shape[-1]} != layer width {n}"
+            )
+        cols = arr.reshape(-1, n).T  # engines use (n, tokens)
+        backend = self.spec.backend
+        if backend == "biqgemm":
+            out_cols = self._engine.matmul(cols)
+        elif backend == "xnor":
+            out_cols = self._engine.matmul(cols, a_bits=self.spec.a_bits)
+        elif backend == "unpack":
+            out_cols = np.zeros((self._shape[0], cols.shape[1]))
+            for i, packed in enumerate(self._packed):
+                out_cols += self._bcq.alphas[i][:, None] * gemm_with_unpack(
+                    packed, cols
+                )
+        elif backend == "container":
+            out_cols = sgemm_container(self._bcq.binary, cols, self._bcq.alphas)
+        else:  # dense
+            out_cols = self._dense @ cols
+        out = out_cols.T.reshape(lead + (self._shape[0],))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+def make_linear(
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    *,
+    spec: QuantSpec | None = None,
+):
+    """Factory: dense :class:`Linear` when *spec* is None, else
+    :class:`QuantLinear`.
+
+    Model builders take this as their injection point so a whole network
+    can be flipped between float and quantized execution with one
+    argument.
+    """
+    if spec is None:
+        return Linear(weight, bias)
+    return QuantLinear(weight, bias, spec=spec)

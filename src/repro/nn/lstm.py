@@ -1,0 +1,119 @@
+"""LSTM layers (the paper's Section II-C ASR workload).
+
+LAS-style speech models stack bi-directional LSTMs whose gate
+projections are large GEMMs -- the paper cites six encoder layers with
+``(2.5K x 5K)`` weights.  The input-hidden and hidden-hidden projections
+here flow through the pluggable linear factory, so a quantized LSTM runs
+its recurrence on BiQGEMM.
+
+Gate layout follows the usual ``[i, f, g, o]`` stacking: ``W_ih`` is
+``(4h, input_dim)`` and ``W_hh`` is ``(4h, h)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_2d_float
+from repro.nn.functional import sigmoid, tanh
+from repro.nn.linear import QuantSpec, make_linear
+
+__all__ = ["LSTMCell", "LSTMLayer", "BiLSTMLayer"]
+
+
+class LSTMCell:
+    """Single LSTM step with quantizable gate projections."""
+
+    def __init__(
+        self,
+        w_ih: np.ndarray,
+        w_hh: np.ndarray,
+        bias: np.ndarray | None = None,
+        *,
+        spec: QuantSpec | None = None,
+    ):
+        w_ih = as_2d_float(w_ih, "w_ih")
+        w_hh = as_2d_float(w_hh, "w_hh")
+        if w_ih.shape[0] % 4 != 0:
+            raise ValueError(f"w_ih rows must be 4*hidden, got {w_ih.shape[0]}")
+        hidden = w_ih.shape[0] // 4
+        if w_hh.shape != (4 * hidden, hidden):
+            raise ValueError(
+                f"w_hh must be ({4 * hidden}, {hidden}), got {w_hh.shape}"
+            )
+        self.hidden = hidden
+        self.input_dim = int(w_ih.shape[1])
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (4 * hidden,):
+                raise ValueError(
+                    f"bias must have shape ({4 * hidden},), got {bias.shape}"
+                )
+        self.bias = bias
+        self.ih = make_linear(w_ih, spec=spec)
+        self.hh = make_linear(w_hh, spec=spec)
+
+    def __call__(
+        self, x: np.ndarray, state: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One step: ``x`` is ``(batch, input_dim)``; returns ``(h, c)``."""
+        h_prev, c_prev = state
+        gates = self.ih(x) + self.hh(h_prev)
+        if self.bias is not None:
+            gates = gates + self.bias
+        hid = self.hidden
+        i = sigmoid(gates[..., 0 * hid : 1 * hid])
+        f = sigmoid(gates[..., 1 * hid : 2 * hid])
+        g = tanh(gates[..., 2 * hid : 3 * hid])
+        o = sigmoid(gates[..., 3 * hid : 4 * hid])
+        c = f * c_prev + i * g
+        h = o * tanh(c)
+        return h, c
+
+    def zero_state(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
+        """All-zero ``(h, c)`` for *batch* sequences."""
+        return (
+            np.zeros((batch, self.hidden)),
+            np.zeros((batch, self.hidden)),
+        )
+
+
+class LSTMLayer:
+    """Unidirectional LSTM over a ``(batch, time, input_dim)`` sequence."""
+
+    def __init__(self, cell: LSTMCell, *, reverse: bool = False):
+        if not isinstance(cell, LSTMCell):
+            raise TypeError(f"cell must be an LSTMCell, got {type(cell).__name__}")
+        self.cell = cell
+        self.reverse = reverse
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Returns the hidden sequence, ``(batch, time, hidden)``."""
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.ndim != 3 or arr.shape[-1] != self.cell.input_dim:
+            raise ValueError(
+                f"x must be (batch, time, {self.cell.input_dim}), got {arr.shape}"
+            )
+        batch, time, _ = arr.shape
+        state = self.cell.zero_state(batch)
+        steps = range(time - 1, -1, -1) if self.reverse else range(time)
+        outputs = np.empty((batch, time, self.cell.hidden))
+        for t in steps:
+            h, c = self.cell(arr[:, t, :], state)
+            state = (h, c)
+            outputs[:, t, :] = h
+        return outputs
+
+
+class BiLSTMLayer:
+    """Bidirectional LSTM: concatenated forward and backward hiddens."""
+
+    def __init__(self, fwd_cell: LSTMCell, bwd_cell: LSTMCell):
+        if fwd_cell.input_dim != bwd_cell.input_dim:
+            raise ValueError("forward/backward cells disagree on input_dim")
+        self.fwd = LSTMLayer(fwd_cell)
+        self.bwd = LSTMLayer(bwd_cell, reverse=True)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Returns ``(batch, time, fwd_hidden + bwd_hidden)``."""
+        return np.concatenate([self.fwd(x), self.bwd(x)], axis=-1)

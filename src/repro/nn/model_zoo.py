@@ -1,0 +1,135 @@
+"""Model shapes from the paper's Section II-C and builders for them.
+
+The paper sets its experimental matrix-size range from real NLP models:
+Transformer base/big, BERT large, ALBERT xx-large (whose biggest matrix
+is ``4K x 16K``, 256 MB in FP32) and the LAS ASR model (six bi-LSTM
+encoder layers with ``2.5K x 5K`` weights, two ``1.2K x 1.2K`` decoder
+layers).  ``MODEL_SHAPES`` records those dimensions;
+:func:`model_gemm_shapes` expands a model into its per-layer GEMM
+shapes for cost-model sweeps; :func:`build_encoder` instantiates a
+runnable random-weight encoder at (optionally scaled-down) size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.nn.linear import QuantSpec
+from repro.nn.transformer import TransformerConfig, TransformerEncoder
+
+__all__ = ["ModelShape", "MODEL_SHAPES", "model_gemm_shapes", "build_encoder"]
+
+
+@dataclass(frozen=True)
+class ModelShape:
+    """Headline dimensions of one Section II-C model.
+
+    ``attention_dim`` is the hidden size ``n`` (attention matrices are
+    ``n x n``); ``ff_dim`` the feed-forward inner width; ``layers`` the
+    encoder depth; ``extra_gemms`` lists any additional named weight
+    shapes (e.g. ALBERT's giant embedding-factorized matrix, LAS LSTM
+    gates).
+    """
+
+    name: str
+    attention_dim: int
+    ff_dim: int
+    layers: int
+    heads: int
+    extra_gemms: tuple[tuple[str, int, int], ...] = ()
+
+
+MODEL_SHAPES: dict[str, ModelShape] = {
+    "transformer-base": ModelShape(
+        name="Transformer base", attention_dim=512, ff_dim=2048, layers=6, heads=8
+    ),
+    "transformer-big": ModelShape(
+        name="Transformer big", attention_dim=1024, ff_dim=4096, layers=6, heads=16
+    ),
+    "bert-large": ModelShape(
+        name="BERT large", attention_dim=1024, ff_dim=4096, layers=24, heads=16
+    ),
+    "albert-xxlarge": ModelShape(
+        name="ALBERT xx-large",
+        attention_dim=4096,
+        ff_dim=16384,
+        layers=12,
+        heads=64,
+        extra_gemms=(("ffn-biggest", 4096, 16384),),
+    ),
+    "las-asr": ModelShape(
+        name="LAS (bi-LSTM ASR)",
+        attention_dim=1280,
+        ff_dim=1280,
+        layers=6,
+        heads=1,
+        extra_gemms=(
+            ("encoder-lstm-gates", 2560, 5120),  # the paper's 2.5K x 5K
+            ("decoder-lstm-gates", 1280, 1280),  # the paper's 1.2K x 1.2K
+        ),
+    ),
+}
+"""Registry keyed by the short names the benches use."""
+
+
+def model_gemm_shapes(key: str) -> list[tuple[str, int, int]]:
+    """All weight-GEMM ``(name, m, n)`` shapes of one registered model.
+
+    Attention blocks contribute four ``(d, d)`` projections per layer;
+    feed-forward blocks contribute ``(ff, d)`` and ``(d, ff)``;
+    ``extra_gemms`` are appended verbatim.
+    """
+    try:
+        shape = MODEL_SHAPES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {key!r}; expected one of {sorted(MODEL_SHAPES)}"
+        ) from None
+    d, f = shape.attention_dim, shape.ff_dim
+    out: list[tuple[str, int, int]] = []
+    for layer in range(shape.layers):
+        for proj in ("q", "k", "v", "o"):
+            out.append((f"L{layer}.attn.{proj}", d, d))
+        out.append((f"L{layer}.ff1", f, d))
+        out.append((f"L{layer}.ff2", d, f))
+    out.extend(shape.extra_gemms)
+    return out
+
+
+def build_encoder(
+    key: str,
+    *,
+    layers: int | None = None,
+    scale: int = 1,
+    spec: QuantSpec | None = None,
+    seed: int = 0,
+) -> TransformerEncoder:
+    """Instantiate a runnable random-weight encoder for a registered model.
+
+    ``scale`` divides all widths (e.g. ``scale=8`` turns Transformer-big
+    into a 128-wide miniature with identical topology) so full stacks
+    stay tractable in pure Python; ``layers`` overrides the depth.
+    Weights are seeded and Xavier-scaled.
+    """
+    check_positive_int(scale, "scale")
+    shape = MODEL_SHAPES.get(key)
+    if shape is None:
+        raise ValueError(
+            f"unknown model {key!r}; expected one of {sorted(MODEL_SHAPES)}"
+        )
+    dim = shape.attention_dim // scale
+    ff = shape.ff_dim // scale
+    heads = min(shape.heads, max(1, dim // 16))
+    while dim % heads != 0:
+        heads -= 1
+    config = TransformerConfig(
+        dim=dim,
+        heads=heads,
+        ff_dim=ff,
+        layers=layers if layers is not None else shape.layers,
+    )
+    rng = np.random.default_rng(seed)
+    return TransformerEncoder(config, rng, spec=spec)

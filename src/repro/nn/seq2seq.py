@@ -1,0 +1,138 @@
+"""Full encoder-decoder Transformer with greedy decoding.
+
+The paper's Table I workload is an En-De NMT Transformer; this module
+assembles the complete inference path -- embeddings, positional
+encodings, encoder stack, decoder stack with causal masking, and the
+vocabulary generator -- on top of the pluggable linear backends, so a
+whole translation step can execute with every projection on BiQGEMM.
+(Weights here are random; the point is the runnable system and the
+float-vs-quantized output comparison, not trained translation quality --
+see DESIGN.md Section 2 on the BLEU substitution.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.nn.embedding import Embedding, positional_encoding
+from repro.nn.linear import QuantSpec, make_linear
+from repro.nn.transformer import (
+    TransformerConfig,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+)
+
+__all__ = ["Seq2SeqTransformer"]
+
+
+class Seq2SeqTransformer:
+    """Encoder-decoder Transformer for sequence-to-sequence inference.
+
+    Parameters
+    ----------
+    config:
+        Shared encoder/decoder architecture.
+    vocab_size:
+        Token vocabulary (shared between source and target).
+    rng:
+        Generator for the (Xavier-scaled) random weights.
+    spec:
+        Optional quantization spec applied to every projection,
+        including the generator.
+    """
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        vocab_size: int,
+        rng: np.random.Generator,
+        *,
+        spec: QuantSpec | None = None,
+    ):
+        check_positive_int(vocab_size, "vocab_size")
+        if vocab_size < 4:
+            raise ValueError("vocab_size must be >= 4 (bos/eos/pad + tokens)")
+        self.config = config
+        self.vocab_size = vocab_size
+        d = config.dim
+        self.embedding = Embedding(
+            rng.standard_normal((vocab_size, d)) / np.sqrt(d)
+        )
+        self.encoder_layers = [
+            TransformerEncoderLayer(config, rng, spec=spec)
+            for _ in range(config.layers)
+        ]
+        self.decoder_layers = [
+            TransformerDecoderLayer(config, rng, spec=spec)
+            for _ in range(config.layers)
+        ]
+        self.generator = make_linear(
+            rng.standard_normal((vocab_size, d)) / np.sqrt(d), spec=spec
+        )
+
+    # ------------------------------------------------------------------
+    def encode(self, src_ids: np.ndarray) -> np.ndarray:
+        """Source token ids ``(batch, src_len)`` -> memory
+        ``(batch, src_len, dim)``."""
+        ids = self._check_ids(src_ids)
+        h = self.embedding(ids) + positional_encoding(
+            ids.shape[1], self.config.dim
+        )[None]
+        for layer in self.encoder_layers:
+            h = layer(h)
+        return h
+
+    def decode_step(
+        self, tgt_ids: np.ndarray, memory: np.ndarray
+    ) -> np.ndarray:
+        """Target prefix ``(batch, t)`` -> next-token logits
+        ``(batch, vocab)``."""
+        ids = self._check_ids(tgt_ids)
+        h = self.embedding(ids) + positional_encoding(
+            ids.shape[1], self.config.dim
+        )[None]
+        for layer in self.decoder_layers:
+            h = layer(h, memory)
+        return self.generator(h[:, -1, :])
+
+    def greedy_decode(
+        self,
+        src_ids: np.ndarray,
+        *,
+        bos: int = 1,
+        eos: int = 2,
+        max_len: int = 16,
+    ) -> np.ndarray:
+        """Greedy autoregressive decoding.
+
+        Returns generated ids ``(batch, <=max_len)`` including the BOS
+        column; rows stop extending (repeat EOS) once EOS is emitted.
+        """
+        check_positive_int(max_len, "max_len")
+        for tok, name in ((bos, "bos"), (eos, "eos")):
+            if not 0 <= tok < self.vocab_size:
+                raise ValueError(f"{name}={tok} outside vocabulary")
+        ids = self._check_ids(src_ids)
+        memory = self.encode(ids)
+        batch = ids.shape[0]
+        out = np.full((batch, 1), bos, dtype=np.int64)
+        finished = np.zeros(batch, dtype=bool)
+        for _ in range(max_len - 1):
+            logits = self.decode_step(out, memory)
+            nxt = logits.argmax(axis=1)
+            nxt = np.where(finished, eos, nxt)
+            out = np.concatenate([out, nxt[:, None]], axis=1)
+            finished |= nxt == eos
+            if finished.all():
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_ids(self, ids: np.ndarray) -> np.ndarray:
+        arr = np.asarray(ids)
+        if arr.ndim != 2:
+            raise ValueError(f"token ids must be (batch, len), got {arr.shape}")
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError(f"token ids must be integers, got {arr.dtype}")
+        return arr

@@ -1,0 +1,61 @@
+"""Binary-coding and uniform quantization substrate.
+
+The paper's compute kernel operates on weights quantized with
+*binary-coding quantization* (BCQ): a real tensor ``w`` is approximated by
+``sum_i alpha_i * b_i`` with binary tensors ``b_i in {-1,+1}`` and real
+scale factors ``alpha_i`` (paper Eq. 1).  This subpackage provides
+
+- :mod:`repro.quant.binary` -- the optimal 1-bit solution,
+- :mod:`repro.quant.greedy` -- greedy multi-bit BCQ (Guo et al., the
+  method behind the paper's Table I "Binary-Coding (Greedy)" rows),
+- :mod:`repro.quant.alternating` -- alternating multi-bit BCQ with
+  least-squares scale refitting (Xu et al.),
+- :mod:`repro.quant.bcq` -- the user-facing front-end
+  (:func:`~repro.quant.bcq.bcq_quantize` and
+  :class:`~repro.quant.bcq.BCQTensor`),
+- :mod:`repro.quant.uniform` -- uniform (fixed-point) quantization used as
+  the comparator in Tables I and II,
+- :mod:`repro.quant.packing` -- dense ``{-1,+1}`` <-> bit-packed container
+  conversion, including the paper's Algorithm 3 unpacking routine,
+- :mod:`repro.quant.error` -- quantization error metrics.
+"""
+
+from repro.quant.bcq import BCQTensor, bcq_quantize
+from repro.quant.binary import quantize_binary
+from repro.quant.greedy import greedy_bcq
+from repro.quant.refined import refined_greedy_bcq
+from repro.quant.alternating import alternating_bcq
+from repro.quant.uniform import UniformQuantized, uniform_quantize
+from repro.quant.packing import (
+    pack_bits,
+    unpack_bits,
+    unpack_word_reference,
+    PackedBits,
+)
+from repro.quant.error import (
+    mse,
+    rmse,
+    sqnr_db,
+    cosine_similarity,
+    relative_frobenius_error,
+)
+
+__all__ = [
+    "BCQTensor",
+    "bcq_quantize",
+    "quantize_binary",
+    "greedy_bcq",
+    "refined_greedy_bcq",
+    "alternating_bcq",
+    "UniformQuantized",
+    "uniform_quantize",
+    "pack_bits",
+    "unpack_bits",
+    "unpack_word_reference",
+    "PackedBits",
+    "mse",
+    "rmse",
+    "sqnr_db",
+    "cosine_similarity",
+    "relative_frobenius_error",
+]

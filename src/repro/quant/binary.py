@@ -1,0 +1,50 @@
+"""Optimal 1-bit binary-coding quantization.
+
+For a single scale factor, minimizing ``||w - alpha * b||^2`` over
+``alpha in R`` and ``b in {-1,+1}^p`` has the closed-form solution
+
+    b = sign(w),   alpha = mean(|w|)
+
+(Rastegari et al., XNOR-Net).  This is the building block for the greedy
+multi-bit scheme and the 1-bit rows of the paper's Table I.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quantize_binary"]
+
+
+def quantize_binary(
+    w: np.ndarray, *, axis: int | None = -1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize *w* into one scale per slice and a ``{-1,+1}`` tensor.
+
+    Parameters
+    ----------
+    w:
+        Real tensor of any shape.
+    axis:
+        Axis along which elements share a scale factor.  ``axis=-1``
+        quantizes each row of a 2-D weight matrix independently, matching
+        the paper's per-row scheme (Section II-B: "quantization can be
+        independently performed for each row or column").  ``axis=None``
+        uses a single scale for the whole tensor.
+
+    Returns
+    -------
+    (alpha, b):
+        ``alpha`` has the shape of *w* with *axis* reduced (kept as a
+        scalar array for ``axis=None``); ``b`` is ``int8`` of the shape
+        of *w*.  ``sign(0)`` is defined as ``+1`` so ``b`` is always a
+        valid binary tensor.
+    """
+    arr = np.asarray(w, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot quantize an empty tensor")
+    if not np.isfinite(arr).all():
+        raise ValueError("w contains NaN or Inf")
+    b = np.where(arr >= 0, np.int8(1), np.int8(-1))
+    alpha = np.mean(np.abs(arr), axis=axis)
+    return alpha, b

@@ -1,0 +1,76 @@
+"""Quantization error metrics.
+
+Used by the Table I proxy experiments: since the WMT'13 BLEU evaluation
+is not reproducible offline, quantization quality is reported as
+signal-to-quantization-noise ratio (SQNR), relative Frobenius error and
+cosine similarity of layer outputs -- all standard stand-ins that
+preserve the ordering the paper's Table I reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mse",
+    "rmse",
+    "sqnr_db",
+    "cosine_similarity",
+    "relative_frobenius_error",
+]
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size == 0:
+        raise ValueError("metrics are undefined for empty arrays")
+    return x, y
+
+
+def mse(reference: np.ndarray, approx: np.ndarray) -> float:
+    """Mean squared error between *reference* and *approx*."""
+    x, y = _pair(reference, approx)
+    return float(np.mean((x - y) ** 2))
+
+
+def rmse(reference: np.ndarray, approx: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(reference, approx)))
+
+
+def sqnr_db(reference: np.ndarray, approx: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better).
+
+    ``10 * log10( ||ref||^2 / ||ref - approx||^2 )``; returns ``inf`` for
+    an exact match.
+    """
+    x, y = _pair(reference, approx)
+    noise = float(np.sum((x - y) ** 2))
+    signal = float(np.sum(x**2))
+    if noise == 0.0:
+        return float("inf")
+    if signal == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(signal / noise)
+
+
+def cosine_similarity(reference: np.ndarray, approx: np.ndarray) -> float:
+    """Cosine similarity of the flattened tensors (1.0 is a perfect match)."""
+    x, y = _pair(reference, approx)
+    nx = np.linalg.norm(x.ravel())
+    ny = np.linalg.norm(y.ravel())
+    if nx == 0.0 or ny == 0.0:
+        return 1.0 if nx == ny else 0.0
+    return float(np.dot(x.ravel(), y.ravel()) / (nx * ny))
+
+
+def relative_frobenius_error(reference: np.ndarray, approx: np.ndarray) -> float:
+    """``||ref - approx||_F / ||ref||_F`` (0.0 is a perfect match)."""
+    x, y = _pair(reference, approx)
+    denom = np.linalg.norm(x.ravel())
+    if denom == 0.0:
+        return 0.0 if np.linalg.norm(y.ravel()) == 0.0 else float("inf")
+    return float(np.linalg.norm((x - y).ravel()) / denom)

@@ -1,0 +1,56 @@
+"""Greedy multi-bit binary-coding quantization.
+
+Greedy approximation (Guo et al., "Network Sketching") peels off one
+binary component at a time: at step ``i`` it solves the optimal 1-bit
+problem on the residual
+
+    r_0 = w;   b_i = sign(r_{i-1});  alpha_i = mean(|r_{i-1}|);
+    r_i = r_{i-1} - alpha_i * b_i.
+
+The paper's Table I quantizes Transformers with exactly this scheme
+("Binary-Coding (Greedy)").  Each step is optimal for the residual, so
+the residual norm is non-increasing in the number of bits -- a property
+the test suite checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.quant.binary import quantize_binary
+
+__all__ = ["greedy_bcq"]
+
+
+def greedy_bcq(
+    w: np.ndarray, bits: int, *, axis: int | None = -1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy BCQ of *w* into *bits* binary components.
+
+    Parameters
+    ----------
+    w:
+        Real tensor.
+    bits:
+        Number of binary components (the paper uses 1-3 for weights).
+    axis:
+        Scale-sharing axis, as in :func:`repro.quant.binary.quantize_binary`.
+
+    Returns
+    -------
+    (alphas, bs):
+        ``alphas`` stacks the per-step scales along a new leading axis of
+        length *bits*; ``bs`` stacks the binary tensors likewise
+        (``int8``, shape ``(bits,) + w.shape``).
+    """
+    check_positive_int(bits, "bits", upper=32)
+    residual = np.asarray(w, dtype=np.float64).copy()
+    alphas: list[np.ndarray] = []
+    bs: list[np.ndarray] = []
+    for _ in range(bits):
+        alpha, b = quantize_binary(residual, axis=axis)
+        alphas.append(np.asarray(alpha, dtype=np.float64))
+        bs.append(b)
+        residual -= np.expand_dims(alpha, axis) * b if axis is not None else alpha * b
+    return np.stack(alphas), np.stack(bs)

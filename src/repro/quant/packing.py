@@ -1,0 +1,169 @@
+"""Bit packing of ``{-1,+1}`` binary tensors into integer containers.
+
+Commodity processors move data in fixed-width words, so binary weights
+must be stored many-to-a-word to realise the memory savings of
+quantization (paper Section I).  This module converts between the dense
+``{-1,+1}`` representation used by the quantizers and packed ``uintN``
+containers used by the packed-GEMM and XNOR baselines.
+
+Conventions
+-----------
+- ``+1`` maps to bit ``1``; ``-1`` maps to bit ``0``.
+- ``bit_order="msb"`` (default) stores the *first* element of each group
+  in the most-significant bit, which is the convention of the paper's
+  Fig. 5 key encoding (``{-1, 1, 1, -1} -> 0110b = 6``).
+- ``bit_order="lsb"`` matches the paper's Algorithm 3 unpacking loop
+  (``w_i = (((x >> i) & 1) * 2) - 1``), which reads the first element
+  from the least-significant bit.
+- Packing pads the last group with ``-1`` (bit 0); :func:`unpack_bits`
+  slices the padding back off using the stored original length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import ceil_div, check_binary, check_positive_int
+
+__all__ = ["PackedBits", "pack_bits", "unpack_bits", "unpack_word_reference"]
+
+_CONTAINER_DTYPES = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
+
+
+@dataclass(frozen=True)
+class PackedBits:
+    """A bit-packed binary tensor.
+
+    Attributes
+    ----------
+    words:
+        Unsigned integer array; the packed axis is the last axis and holds
+        ``ceil(n / container_bits)`` words.
+    n:
+        Original (unpadded) length of the packed axis.
+    container_bits:
+        Word width in bits (8, 16, 32, or 64).
+    bit_order:
+        ``"msb"`` or ``"lsb"``; see module docstring.
+    """
+
+    words: np.ndarray
+    n: int
+    container_bits: int
+    bit_order: str
+
+    @property
+    def nbytes(self) -> int:
+        """Storage consumed by the packed words, in bytes."""
+        return int(self.words.nbytes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Logical shape of the unpacked tensor."""
+        return self.words.shape[:-1] + (self.n,)
+
+
+def _bit_weights(container_bits: int, bit_order: str) -> np.ndarray:
+    if bit_order == "msb":
+        shifts = np.arange(container_bits - 1, -1, -1, dtype=np.uint64)
+    elif bit_order == "lsb":
+        shifts = np.arange(container_bits, dtype=np.uint64)
+    else:
+        raise ValueError(f"bit_order must be 'msb' or 'lsb', got {bit_order!r}")
+    return (np.uint64(1) << shifts).astype(np.uint64)
+
+
+def pack_bits(
+    binary: np.ndarray,
+    *,
+    container_bits: int = 32,
+    bit_order: str = "msb",
+) -> PackedBits:
+    """Pack a ``{-1,+1}`` tensor along its last axis into integer words.
+
+    Parameters
+    ----------
+    binary:
+        Array with values in ``{-1, +1}``; any leading shape, packed along
+        the last axis.
+    container_bits:
+        Width of the container word: 8, 16, 32 (default, matching the
+        paper's INT32 containers) or 64.
+    bit_order:
+        ``"msb"`` (paper Fig. 5 keys) or ``"lsb"`` (paper Algorithm 3).
+
+    Returns
+    -------
+    PackedBits
+        Packed words of dtype ``uint{container_bits}`` whose last axis has
+        ``ceil(n / container_bits)`` entries.
+    """
+    check_positive_int(container_bits, "container_bits")
+    if container_bits not in _CONTAINER_DTYPES:
+        raise ValueError(
+            f"container_bits must be one of {sorted(_CONTAINER_DTYPES)}, "
+            f"got {container_bits}"
+        )
+    arr = check_binary(binary, "binary")
+    if arr.ndim == 0:
+        raise ValueError("binary must have at least one dimension")
+    n = arr.shape[-1]
+    n_words = max(ceil_div(n, container_bits), 1)
+    padded = np.zeros(arr.shape[:-1] + (n_words * container_bits,), dtype=np.uint64)
+    padded[..., :n] = arr > 0
+    grouped = padded.reshape(arr.shape[:-1] + (n_words, container_bits))
+    weights = _bit_weights(container_bits, bit_order)
+    words = (grouped * weights).sum(axis=-1, dtype=np.uint64)
+    return PackedBits(
+        words=words.astype(_CONTAINER_DTYPES[container_bits]),
+        n=n,
+        container_bits=container_bits,
+        bit_order=bit_order,
+    )
+
+
+def unpack_bits(packed: PackedBits) -> np.ndarray:
+    """Unpack a :class:`PackedBits` back to a dense ``{-1,+1}`` ``int8`` tensor.
+
+    This is the vectorized counterpart of the paper's Algorithm 3: each
+    container word is expanded into ``container_bits`` signs and the
+    padding introduced by :func:`pack_bits` is removed.
+    """
+    if not isinstance(packed, PackedBits):
+        raise TypeError(f"expected PackedBits, got {type(packed).__name__}")
+    words = packed.words.astype(np.uint64)
+    if packed.bit_order == "msb":
+        shifts = np.arange(packed.container_bits - 1, -1, -1, dtype=np.uint64)
+    else:
+        shifts = np.arange(packed.container_bits, dtype=np.uint64)
+    bits = (words[..., None] >> shifts) & np.uint64(1)
+    flat = bits.reshape(words.shape[:-1] + (-1,))
+    signs = (flat.astype(np.int8) * 2) - 1
+    return signs[..., : packed.n]
+
+
+def unpack_word_reference(word: int, container_bits: int = 32) -> np.ndarray:
+    """Paper Algorithm 3: unpack one container word, LSB first.
+
+    Transcribed from the paper::
+
+        procedure unpacking(x):
+            for i <- 0 to 31 do
+                w_i <- ((((x >> i) & 1) * 2) - 1
+
+    Returns an ``int8`` vector of ``container_bits`` signs in ``{-1,+1}``.
+    Used as the ground-truth oracle for :func:`unpack_bits` in tests and
+    as the modelled per-word instruction cost in the Fig. 9 experiment.
+    """
+    check_positive_int(container_bits, "container_bits")
+    word = int(word)
+    if word < 0 or word >= (1 << container_bits):
+        raise ValueError(
+            f"word must be in [0, 2**{container_bits}), got {word}"
+        )
+    out = np.empty(container_bits, dtype=np.int8)
+    for i in range(container_bits):
+        out[i] = (((word >> i) & 1) * 2) - 1
+    return out

@@ -1,0 +1,115 @@
+"""Uniform (fixed-point) quantization.
+
+The comparator scheme in the paper's Tables I and II: values are mapped
+to ``k``-bit integers on a uniform grid.  Uniform quantization reduces
+both storage and compute but requires activations to be quantized too
+(for fixed-point GEMM) and frequent float<->int conversions -- the
+overheads BiQGEMM avoids (paper Section II-A).
+
+Supports symmetric (signed, zero-point-free) and asymmetric (affine)
+per-tensor or per-row grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = ["UniformQuantized", "uniform_quantize"]
+
+
+@dataclass(frozen=True)
+class UniformQuantized:
+    """A uniformly quantized tensor ``w ~ scale * (q - zero_point)``.
+
+    Attributes
+    ----------
+    q:
+        Integer codes, ``int32``.
+    scale:
+        Grid step; scalar array or per-row column vector.
+    zero_point:
+        Integer offset on the same shape as *scale* (all-zero for
+        symmetric quantization).
+    bits:
+        Grid resolution in bits.
+    """
+
+    q: np.ndarray
+    scale: np.ndarray
+    zero_point: np.ndarray
+    bits: int
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float64 approximation."""
+        return self.scale * (self.q.astype(np.float64) - self.zero_point)
+
+    @property
+    def nbytes_ideal(self) -> float:
+        """Storage in bytes at the nominal bit width (no container waste)."""
+        return self.q.size * self.bits / 8.0
+
+
+def uniform_quantize(
+    w: np.ndarray,
+    bits: int,
+    *,
+    symmetric: bool = True,
+    per_row: bool = False,
+) -> UniformQuantized:
+    """Quantize *w* onto a uniform ``bits``-bit grid.
+
+    Parameters
+    ----------
+    w:
+        Real tensor (any shape; *per_row* requires 2-D).
+    bits:
+        Integer resolution, 2..32.  ``bits=8`` reproduces the INT8 rows of
+        the paper's Table I.
+    symmetric:
+        Symmetric grids use ``scale = max|w| / (2^{bits-1} - 1)`` and no
+        zero point; asymmetric grids fit min/max exactly.
+    per_row:
+        Use an independent grid per row (axis 0) of a 2-D matrix.
+
+    Returns
+    -------
+    UniformQuantized
+    """
+    check_positive_int(bits, "bits", upper=32)
+    if bits < 2:
+        raise ValueError("uniform quantization needs bits >= 2")
+    arr = np.asarray(w, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot quantize an empty tensor")
+    if not np.isfinite(arr).all():
+        raise ValueError("w contains NaN or Inf")
+    if per_row:
+        if arr.ndim != 2:
+            raise ValueError("per_row=True requires a 2-D matrix")
+        reduce_axes: tuple[int, ...] | None = (1,)
+        keep = True
+    else:
+        reduce_axes = None
+        keep = False
+
+    if symmetric:
+        qmax = (1 << (bits - 1)) - 1
+        amax = np.max(np.abs(arr), axis=reduce_axes, keepdims=keep)
+        scale = np.where(amax > 0, amax / qmax, 1.0)
+        q = np.clip(np.round(arr / scale), -qmax - 1, qmax).astype(np.int32)
+        zero = np.zeros_like(np.asarray(scale), dtype=np.int64)
+    else:
+        levels = (1 << bits) - 1
+        lo = np.min(arr, axis=reduce_axes, keepdims=keep)
+        hi = np.max(arr, axis=reduce_axes, keepdims=keep)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        scale = span / levels
+        zero = np.round(-lo / scale).astype(np.int64)
+        q = np.clip(np.round(arr / scale) + zero, 0, levels).astype(np.int32)
+    return UniformQuantized(
+        q=q, scale=np.asarray(scale), zero_point=zero, bits=bits
+    )

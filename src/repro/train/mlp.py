@@ -1,0 +1,149 @@
+"""A small ReLU MLP classifier trained with minibatch SGD, in numpy.
+
+Deliberately minimal: enough capacity to fit the teacher task well
+(baseline test accuracy well above chance) so that quantization-induced
+accuracy *drops* are measurable, which is all the Table I proxy needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.nn.functional import relu, softmax
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier:
+    """Fully-connected ReLU network ending in a softmax classifier.
+
+    Parameters
+    ----------
+    dims:
+        Layer widths ``(input, hidden..., classes)``; at least two
+        entries.
+    seed:
+        RNG seed for the Xavier-scaled initial weights.
+    """
+
+    def __init__(self, dims: Sequence[int], *, seed: int = 0):
+        if len(dims) < 2:
+            raise ValueError("dims needs at least (input, classes)")
+        for d in dims:
+            check_positive_int(int(d), "dims entry")
+        self.dims = tuple(int(d) for d in dims)
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = [
+            rng.standard_normal((self.dims[i + 1], self.dims[i]))
+            / np.sqrt(self.dims[i])
+            for i in range(len(self.dims) - 1)
+        ]
+        self.biases: list[np.ndarray] = [
+            np.zeros(self.dims[i + 1]) for i in range(len(self.dims) - 1)
+        ]
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits for inputs ``(batch, input_dim)``."""
+        h = np.asarray(x, dtype=np.float64)
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w.T + b
+            if i < len(self.weights) - 1:
+                h = relu(h)
+        return h
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class indices for inputs ``(batch, input_dim)``."""
+        return self.forward(x).argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of correct predictions."""
+        y = np.asarray(y)
+        return float((self.predict(x) == y).mean())
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 0.1,
+        seed: int = 0,
+    ) -> list[float]:
+        """Minibatch SGD on softmax cross-entropy; returns per-epoch loss."""
+        check_positive_int(epochs, "epochs")
+        check_positive_int(batch_size, "batch_size")
+        xm = np.asarray(x, dtype=np.float64)
+        ym = np.asarray(y)
+        if xm.ndim != 2 or xm.shape[1] != self.dims[0]:
+            raise ValueError(
+                f"x must be (batch, {self.dims[0]}), got {xm.shape}"
+            )
+        if ym.shape != (xm.shape[0],):
+            raise ValueError("y must be a label vector matching x rows")
+        rng = np.random.default_rng(seed)
+        n = xm.shape[0]
+        losses = []
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                epoch_loss += self._sgd_step(xm[idx], ym[idx], lr) * len(idx)
+            losses.append(epoch_loss / n)
+        return losses
+
+    def _sgd_step(self, xb: np.ndarray, yb: np.ndarray, lr: float) -> float:
+        # Forward pass, caching pre-activations.
+        activations = [xb]
+        h = xb
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w.T + b
+            h = relu(z) if i < len(self.weights) - 1 else z
+            activations.append(h)
+        probs = softmax(activations[-1], axis=1)
+        batch = xb.shape[0]
+        loss = float(
+            -np.log(np.clip(probs[np.arange(batch), yb], 1e-12, None)).mean()
+        )
+        # Backward pass.
+        grad = probs.copy()
+        grad[np.arange(batch), yb] -= 1.0
+        grad /= batch
+        for i in range(len(self.weights) - 1, -1, -1):
+            a_prev = activations[i]
+            gw = grad.T @ a_prev
+            gb = grad.sum(axis=0)
+            if i > 0:
+                grad = (grad @ self.weights[i]) * (activations[i] > 0)
+            self.weights[i] -= lr * gw
+            self.biases[i] -= lr * gb
+        return loss
+
+    # ------------------------------------------------------------------
+    def with_transformed_weights(
+        self, transform: Callable[[np.ndarray], np.ndarray]
+    ) -> "MLPClassifier":
+        """Copy of this model with *transform* applied to every weight.
+
+        The post-training-quantization hook: pass a function mapping a
+        dense weight matrix to its dequantized approximation.  Biases
+        are copied unchanged (the paper quantizes weights only).
+        """
+        clone = MLPClassifier(self.dims)
+        clone.weights = [
+            np.asarray(transform(w), dtype=np.float64).copy()
+            for w in self.weights
+        ]
+        for orig, new in zip(self.weights, clone.weights):
+            if new.shape != orig.shape:
+                raise ValueError(
+                    f"transform changed a weight shape {orig.shape} -> {new.shape}"
+                )
+        clone.biases = [b.copy() for b in self.biases]
+        return clone

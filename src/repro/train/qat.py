@@ -1,0 +1,144 @@
+"""Quantization-aware training by occasional weight distortion.
+
+The paper's Table I BCQ numbers come from *retraining* with the
+DeepTwist algorithm (paper reference [48]): every ``distortion_step``
+SGD steps, the float weights are snapped to their quantized
+reconstruction and training continues from the distorted point.  The
+model thus learns to sit in regions where quantization is cheap, closing
+much of the post-training-quantization gap at low bit widths.
+
+This module implements that loop on the numpy MLP substrate, giving the
+Table I proxy its QAT-vs-PTQ comparison (paper message: 2-3-bit BCQ is
+usable *because* of retraining).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.quant.bcq import bcq_quantize
+from repro.train.data import TeacherTask
+from repro.train.mlp import MLPClassifier
+
+__all__ = ["distort_weights", "train_qat", "qat_vs_ptq"]
+
+
+def distort_weights(
+    model: MLPClassifier, bits: int, *, method: str = "greedy"
+) -> None:
+    """Snap every weight matrix to its BCQ reconstruction, in place.
+
+    One DeepTwist distortion step: ``w <- dequantize(quantize(w))``.
+    Biases are untouched (the paper quantizes weights only).
+    """
+    check_positive_int(bits, "bits", upper=8)
+    for i, w in enumerate(model.weights):
+        model.weights[i] = bcq_quantize(w, bits, method=method).dequantize()
+
+
+def train_qat(
+    task: TeacherTask,
+    *,
+    bits: int,
+    dims: tuple[int, ...] | None = None,
+    epochs: int = 25,
+    finetune_epochs: int = 12,
+    method: str = "greedy",
+    lr: float = 0.1,
+    finetune_lr: float = 0.02,
+    seed: int = 0,
+    base_model: MLPClassifier | None = None,
+) -> tuple[MLPClassifier, float]:
+    """Retrain with occasional weight distortion; return the final
+    *deployable quantized* model and its test accuracy.
+
+    Follows the paper's protocol ("we retrain the model using
+    quantization-aware training algorithm introduced in [48]"): start
+    from a trained float baseline (*base_model*, or train one for
+    *epochs*), then fine-tune for *finetune_epochs* rounds of
+    distort-then-SGD at a reduced learning rate.  A final distortion
+    snaps the weights onto the BCQ-representable point, so the returned
+    accuracy is exactly what deployment at ``bits`` achieves.
+    """
+    check_positive_int(epochs, "epochs")
+    check_positive_int(finetune_epochs, "finetune_epochs")
+    check_positive_int(bits, "bits", upper=8)
+    if dims is None:
+        dims = (task.x_train.shape[1], 64, 48, task.classes)
+    if base_model is None:
+        model = MLPClassifier(dims, seed=seed + 1)
+        model.fit(task.x_train, task.y_train, epochs=epochs, seed=seed + 2)
+    else:
+        model = base_model.with_transformed_weights(lambda w: w)
+
+    # Checkpoint selection on the *training* set (no test leakage):
+    # every distortion point is a deployable quantized model; keep the
+    # best.  The first distortion point is exactly the PTQ model, so
+    # QAT can only match or improve it.
+    best_model = None
+    best_train_acc = -1.0
+    for epoch in range(finetune_epochs + 1):
+        distort_weights(model, bits, method=method)
+        train_acc = model.accuracy(task.x_train, task.y_train)
+        if train_acc > best_train_acc:
+            best_train_acc = train_acc
+            best_model = model.with_transformed_weights(lambda w: w)
+        if epoch == finetune_epochs:
+            break
+        model.fit(
+            task.x_train,
+            task.y_train,
+            epochs=1,
+            lr=finetune_lr,
+            seed=seed + 100 + epoch,
+        )
+    assert best_model is not None
+    return best_model, best_model.accuracy(task.x_test, task.y_test)
+
+
+def qat_vs_ptq(
+    task: TeacherTask,
+    *,
+    bits_list: tuple[int, ...] = (1, 2, 3),
+    epochs: int = 25,
+    method: str = "greedy",
+    seed: int = 0,
+) -> list[dict[str, float]]:
+    """Compare QAT against PTQ at each bit width on one task.
+
+    Returns one dict per bit width with ``ptq_accuracy``,
+    ``qat_accuracy`` and the shared ``float_accuracy`` baseline.  The
+    expected shape (paper Table I came from retraining): QAT recovers a
+    large part of the PTQ drop at 2-3 bits.
+    """
+    check_positive_int(epochs, "epochs")
+    dims = (task.x_train.shape[1], 64, 48, task.classes)
+    float_model = MLPClassifier(dims, seed=seed + 1)
+    float_model.fit(task.x_train, task.y_train, epochs=epochs, seed=seed + 2)
+    float_acc = float_model.accuracy(task.x_test, task.y_test)
+
+    rows: list[dict[str, float]] = []
+    for bits in bits_list:
+        ptq = float_model.with_transformed_weights(
+            lambda w, b=bits: bcq_quantize(w, b, method=method).dequantize()
+        )
+        ptq_acc = ptq.accuracy(task.x_test, task.y_test)
+        _, qat_acc = train_qat(
+            task,
+            bits=bits,
+            dims=dims,
+            epochs=epochs,
+            method=method,
+            seed=seed,
+            base_model=float_model,
+        )
+        rows.append(
+            {
+                "bits": float(bits),
+                "float_accuracy": float_acc,
+                "ptq_accuracy": ptq_acc,
+                "qat_accuracy": qat_acc,
+            }
+        )
+    return rows

@@ -1,0 +1,34 @@
+"""Unit tests for the bench CLI (repro.bench.cli)."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "fig10" in out
+
+    def test_run_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "i7-7700" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["tableX"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_out_dir_writes_artifact(self, tmp_path, capsys):
+        assert main(["table2", "--out", str(tmp_path)]) == 0
+        artifact = tmp_path / "table2.txt"
+        assert artifact.exists()
+        assert "Table II" in artifact.read_text()
+
+    def test_quick_flag_accepted(self, capsys):
+        assert main(["table4", "--quick"]) == 0
+        assert "Table IV" in capsys.readouterr().out

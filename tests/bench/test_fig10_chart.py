@@ -1,0 +1,35 @@
+"""Tests for the Fig. 10 ASCII chart and CLI --plot integration."""
+
+from repro.bench.cli import main
+from repro.bench.registry import fig10_chart
+
+
+class TestFig10Chart:
+    def test_contains_series_legend(self):
+        chart = fig10_chart("pc")
+        assert "1-bit" in chart
+        assert "3-bit" in chart
+        assert "speedup" in chart
+
+    def test_mobile_variant(self):
+        chart = fig10_chart("mobile", m=4096)
+        assert "mobile" in chart
+        assert "m=4096" in chart
+
+    def test_batch_axis(self):
+        chart = fig10_chart("pc")
+        for b in (1, 32, 256):
+            assert str(b) in chart
+
+
+class TestCliPlot:
+    def test_fig10_plot_flag(self, capsys):
+        assert main(["fig10", "--quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend: o = 1-bit" in out
+        assert "Fig. 10 (mobile)" in out
+
+    def test_plot_ignored_for_other_experiments(self, capsys):
+        assert main(["table3", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" not in out

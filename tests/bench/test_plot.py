@@ -1,0 +1,52 @@
+"""Unit tests for ASCII series plotting (repro.bench.plot)."""
+
+import pytest
+
+from repro.bench.plot import render_series
+
+
+class TestRenderSeries:
+    def test_contains_title_and_legend(self):
+        out = render_series(
+            "Speedup", [1, 32, 256], {"1-bit": [5, 4, 2], "3-bit": [2, 1.7, 0.6]}
+        )
+        assert "Speedup" in out
+        assert "o = 1-bit" in out
+        assert "x = 3-bit" in out
+
+    def test_markers_present(self):
+        out = render_series("t", [1, 2], {"a": [0.0, 1.0]})
+        assert "o" in out
+
+    def test_extremes_on_first_and_last_rows(self):
+        out = render_series("t", [1, 2], {"a": [0.0, 10.0]}, height=5)
+        lines = out.splitlines()
+        plot_rows = lines[1:6]
+        assert "o" in plot_rows[0]   # max on top row
+        assert "o" in plot_rows[-1]  # min on bottom row
+
+    def test_constant_series_no_crash(self):
+        out = render_series("t", [1, 2, 3], {"a": [2.0, 2.0, 2.0]})
+        # Three plotted markers plus one in the legend.
+        assert out.count("o") == 4
+
+    def test_x_labels_rendered(self):
+        out = render_series("t", ["b1", "b32"], {"a": [1, 2]})
+        assert "b1" in out
+        assert "b32" in out
+
+    def test_y_label(self):
+        out = render_series("t", [1], {"a": [1]}, y_label="seconds")
+        assert "y: seconds" in out
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="expected"):
+            render_series("t", [1, 2], {"a": [1.0]})
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            render_series("t", [1], {})
+
+    def test_rejects_small_height(self):
+        with pytest.raises(ValueError, match="height"):
+            render_series("t", [1], {"a": [1]}, height=1)

@@ -1,0 +1,61 @@
+"""Unit tests for table rendering (repro.bench.report)."""
+
+import pytest
+
+from repro.bench.report import Table, format_seconds, render_table
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        t = Table("t", ["a", "b"])
+        t.add_row(1, 2)
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row(1)
+
+    def test_render_contains_everything(self):
+        t = Table("My Title", ["col1", "col2"], notes=["a note"])
+        t.add_row("x", 1.5)
+        text = render_table(t)
+        assert "My Title" in text
+        assert "col1" in text
+        assert "1.5" in text
+        assert "note: a note" in text
+
+    def test_render_aligns_columns(self):
+        t = Table("t", ["a", "b"])
+        t.add_row("xxxx", 1)
+        t.add_row("y", 22)
+        lines = render_table(t).splitlines()
+        header, rows = lines[2], lines[4:6]
+        assert len(rows[0]) == len(rows[1]) == len(header)
+
+    def test_float_formatting(self):
+        t = Table("t", ["v"])
+        t.add_row(0.00012345)
+        t.add_row(123456.0)
+        t.add_row(float("nan"))
+        text = render_table(t)
+        assert "1.234e-04" in text or "1.235e-04" in text
+        assert "1.235e+05" in text or "1.234e+05" in text
+        assert "nan" in text
+
+    def test_render_rejects_ragged_rows(self):
+        t = Table("t", ["a", "b"])
+        t.rows.append(("only-one",))
+        with pytest.raises(ValueError, match="row width"):
+            render_table(t)
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(12e-6) == "12.0us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0345) == "34.50ms"
+
+    def test_seconds(self):
+        assert format_seconds(2.5) == "2.500s"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)

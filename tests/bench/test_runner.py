@@ -1,0 +1,24 @@
+"""Unit tests for timing helpers (repro.bench.runner)."""
+
+import pytest
+
+from repro.bench.runner import time_callable
+
+
+class TestTimeCallable:
+    def test_returns_positive(self):
+        t = time_callable(lambda: sum(range(1000)), repeats=2, warmup=0)
+        assert t > 0
+
+    def test_calls_expected_number_of_times(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError, match="warmup"):
+            time_callable(lambda: None, repeats=1, warmup=-1)

@@ -1,0 +1,89 @@
+"""Complexity-claim tests (paper Eq. 6-10) via the op-counting simulator."""
+
+import pytest
+
+from repro.core.tiling import TileConfig
+from repro.hw.simulator import simulate_biqgemm, simulate_gemm
+
+
+class TestEq6BuildCost:
+    def test_dp_build_matches_closed_form(self):
+        counts = simulate_biqgemm(64, 128, 4, bits=1, mu=8)
+        groups = 16
+        assert counts.build_adds == (256 + 8 - 1) * groups * 4
+
+    def test_gemm_builder_mu_times_more(self):
+        dp = simulate_biqgemm(64, 128, 4, mu=8, builder="dp")
+        gm = simulate_biqgemm(64, 128, 4, mu=8, builder="gemm")
+        assert gm.build_adds / dp.build_adds == pytest.approx(8, rel=0.05)
+
+
+class TestEq7QueryCost:
+    def test_lookups_match_closed_form(self):
+        counts = simulate_biqgemm(64, 128, 4, bits=3, mu=8)
+        assert counts.lookups == 64 * 16 * 4 * 3
+
+    def test_lookups_independent_of_tiling(self):
+        full = simulate_biqgemm(64, 128, 4, mu=8)
+        tiled = simulate_biqgemm(
+            64, 128, 4, mu=8, tiles=TileConfig(tile_m=7, tile_g=3)
+        )
+        assert full.lookups == tiled.lookups
+
+    def test_tables_built_once_regardless_of_row_tiling(self):
+        # LUT-stationary tiling must not rebuild tables per row tile.
+        full = simulate_biqgemm(64, 128, 4, mu=8)
+        tiled = simulate_biqgemm(
+            64, 128, 4, mu=8, tiles=TileConfig(tile_m=1, tile_g=16)
+        )
+        assert full.tables_built == tiled.tables_built == 16 * 4
+        assert full.build_adds == tiled.build_adds
+
+
+class TestEq8Eq10Total:
+    def test_multibit_grows_query_only(self):
+        # Paper Section III-B: bit planes share tables.
+        one = simulate_biqgemm(128, 256, 8, bits=1, mu=8)
+        three = simulate_biqgemm(128, 256, 8, bits=3, mu=8)
+        assert three.build_adds == one.build_adds
+        assert three.lookups == 3 * one.lookups
+
+    def test_mu_fold_reduction_when_2mu_small(self):
+        # Eq. 10: T ~ m*n*b/mu when 2^mu << m.  Compare against GEMM's
+        # m*n*b multiply-adds (2*m*n*b ops counting mul+add separately).
+        m, n, b, mu = 4096, 1024, 8, 8
+        biq = simulate_biqgemm(m, n, b, mu=mu)
+        gemm = simulate_gemm(m, n, b)
+        madds = gemm.lookups / 2  # multiply-add pairs
+        ratio = madds / biq.total_ops
+        assert ratio == pytest.approx(mu, rel=0.15)
+
+    def test_weight_traffic_reduction(self):
+        # Keys are 32/bits-fold smaller than fp32 weights.
+        biq = simulate_biqgemm(512, 1024, 4, bits=1, mu=8)
+        gemm = simulate_gemm(512, 1024, 4, weight_bits=32)
+        assert gemm.key_bytes / biq.key_bytes == pytest.approx(32.0)
+
+    def test_eq9_crossover_mu_too_large(self):
+        # With 2^mu >> m the table build dominates and BiQGEMM loses its
+        # advantage (Eq. 9 numerator 2^mu + m).
+        m, n, b = 32, 256, 1
+        biq = simulate_biqgemm(m, n, b, mu=16)
+        gemm = simulate_gemm(m, n, b)
+        assert biq.total_ops > gemm.lookups / 2
+
+
+class TestSimulatorValidation:
+    def test_rejects_bad_builder(self):
+        with pytest.raises(ValueError, match="builder"):
+            simulate_biqgemm(4, 4, 1, builder="magic")
+
+    def test_rejects_nonpositive_shape(self):
+        with pytest.raises(ValueError):
+            simulate_biqgemm(0, 4, 1)
+        with pytest.raises(ValueError):
+            simulate_gemm(4, 0, 1)
+
+    def test_scale_muls_count(self):
+        counts = simulate_biqgemm(10, 16, 2, bits=2, mu=4)
+        assert counts.scale_muls == 10 * 2 * 2

@@ -1,0 +1,114 @@
+"""Unit tests for shared-input engine groups (repro.core.group)."""
+
+import numpy as np
+import pytest
+
+from repro.core.group import BiQGemmGroup
+from repro.core.kernel import BiQGemm
+from repro.core.profiling import PhaseProfiler
+from repro.core.tiling import TileConfig
+from tests.conftest import random_binary
+
+
+@pytest.fixture()
+def qkv_group(rng):
+    # Three attention-like projections sharing n=32.
+    engines = [
+        BiQGemm.from_binary(random_binary(rng, (2, 24, 32)), mu=4)
+        for _ in range(3)
+    ]
+    return BiQGemmGroup(engines)
+
+
+class TestConstruction:
+    def test_from_floats(self, rng):
+        ws = [rng.standard_normal((8, 16)) for _ in range(2)]
+        grp = BiQGemmGroup.from_floats(ws, bits=2, mu=4)
+        assert len(grp) == 2
+        assert grp.n == 16
+        assert grp.mu == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            BiQGemmGroup([])
+
+    def test_rejects_mixed_n(self, rng):
+        a = BiQGemm.from_binary(random_binary(rng, (4, 16)), mu=4)
+        b = BiQGemm.from_binary(random_binary(rng, (4, 20)), mu=4)
+        with pytest.raises(ValueError, match="share n"):
+            BiQGemmGroup([a, b])
+
+    def test_rejects_mixed_mu(self, rng):
+        a = BiQGemm.from_binary(random_binary(rng, (4, 16)), mu=4)
+        b = BiQGemm.from_binary(random_binary(rng, (4, 16)), mu=8)
+        with pytest.raises(ValueError, match="share mu"):
+            BiQGemmGroup([a, b])
+
+    def test_rejects_non_engine(self):
+        with pytest.raises(TypeError, match="BiQGemm"):
+            BiQGemmGroup([np.zeros((2, 2))])
+
+
+class TestMatmulShared:
+    def test_matches_individual_matmuls(self, qkv_group, rng):
+        x = rng.standard_normal((32, 6))
+        outs = qkv_group.matmul_shared(x)
+        for out, engine in zip(outs, qkv_group.engines):
+            assert np.allclose(out, engine.matmul(x), atol=1e-10)
+
+    def test_heterogeneous_output_sizes(self, rng):
+        engines = [
+            BiQGemm.from_binary(random_binary(rng, (m, 24)), mu=4)
+            for m in (5, 17, 40)
+        ]
+        grp = BiQGemmGroup(engines)
+        x = rng.standard_normal((24, 3))
+        outs = grp.matmul_shared(x)
+        assert [o.shape[0] for o in outs] == [5, 17, 40]
+        for out, engine in zip(outs, engines):
+            assert np.allclose(out, engine.matmul(x), atol=1e-10)
+
+    def test_vector_input(self, qkv_group, rng):
+        x = rng.standard_normal(32)
+        outs = qkv_group.matmul_shared(x)
+        assert all(o.ndim == 1 for o in outs)
+
+    def test_explicit_tiles(self, qkv_group, rng):
+        x = rng.standard_normal((32, 4))
+        tiles = TileConfig(tile_m=5, tile_g=3)
+        outs = qkv_group.matmul_shared(x, tiles=tiles)
+        for out, engine in zip(outs, qkv_group.engines):
+            assert np.allclose(out, engine.matmul(x), atol=1e-10)
+
+    def test_build_phase_amortized(self, qkv_group, rng):
+        # Profiled shared run must record ~1/3 the build calls of three
+        # separate runs with the same tile schedule.
+        x = rng.standard_normal((32, 4))
+        shared_prof = PhaseProfiler()
+        qkv_group.matmul_shared(x, profiler=shared_prof)
+        separate_prof = PhaseProfiler()
+        for engine in qkv_group.engines:
+            engine.matmul(x, profiler=separate_prof)
+        assert shared_prof.calls["build"] * 3 == separate_prof.calls["build"]
+
+    def test_build_savings_counts(self, qkv_group):
+        savings = qkv_group.build_savings(batch=4)
+        assert (
+            savings["separate_build_adds"]
+            == 3 * savings["shared_build_adds"]
+        )
+
+    def test_rejects_wrong_n(self, qkv_group, rng):
+        with pytest.raises(ValueError, match="rows"):
+            qkv_group.matmul_shared(rng.standard_normal((31, 2)))
+
+    def test_rejects_3d(self, qkv_group, rng):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            qkv_group.matmul_shared(rng.standard_normal((32, 2, 2)))
+
+    def test_builder_option(self, qkv_group, rng):
+        x = rng.standard_normal((32, 3))
+        a = qkv_group.matmul_shared(x, builder="dp")
+        b = qkv_group.matmul_shared(x, builder="gemm")
+        for oa, ob in zip(a, b):
+            assert np.allclose(oa, ob, atol=1e-10)

@@ -1,0 +1,227 @@
+"""Unit tests for the BiQGemm engine (repro.core.kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import BiQGemm
+from repro.core.keys import encode_keys
+from repro.core.profiling import PhaseProfiler
+from repro.core.tiling import TileConfig
+from repro.quant.bcq import bcq_quantize
+from tests.conftest import random_binary
+
+
+@pytest.fixture()
+def small_engine(rng):
+    binary = random_binary(rng, (2, 12, 20))
+    alphas = rng.uniform(0.5, 2.0, size=(2, 12))
+    return BiQGemm.from_binary(binary, alphas=alphas, mu=4), binary, alphas
+
+
+class TestConstruction:
+    def test_from_float_matches_bcq_semantics(self, rng):
+        w = rng.standard_normal((10, 16))
+        x = rng.standard_normal((16, 4))
+        engine = BiQGemm.from_float(w, bits=3, mu=4)
+        expected = bcq_quantize(w, 3).matmul_dense(x)
+        assert np.allclose(engine.matmul(x), expected, atol=1e-8)
+
+    def test_from_bcq(self, rng):
+        w = rng.standard_normal((6, 8))
+        t = bcq_quantize(w, 2)
+        engine = BiQGemm.from_bcq(t, mu=4)
+        x = rng.standard_normal((8, 2))
+        assert np.allclose(engine.matmul(x), t.matmul_dense(x), atol=1e-8)
+
+    def test_from_binary_2d_defaults_to_unit_scales(self, rng):
+        b = random_binary(rng, (5, 8))
+        engine = BiQGemm.from_binary(b, mu=4)
+        x = rng.standard_normal((8, 3))
+        assert np.allclose(engine.matmul(x), b.astype(float) @ x, atol=1e-10)
+
+    def test_from_binary_1d_alphas(self, rng):
+        b = random_binary(rng, (5, 8))
+        alphas = rng.uniform(0.1, 1.0, size=5)
+        engine = BiQGemm.from_binary(b, alphas=alphas, mu=4)
+        x = rng.standard_normal((8, 2))
+        expected = alphas[:, None] * (b.astype(float) @ x)
+        assert np.allclose(engine.matmul(x), expected, atol=1e-10)
+
+    def test_rejects_bad_alpha_shape(self, rng):
+        km = encode_keys(random_binary(rng, (4, 8)), 4)
+        with pytest.raises(ValueError, match="alphas"):
+            BiQGemm(km, alphas=np.ones((2, 4)))
+
+    def test_rejects_nan_alphas(self, rng):
+        km = encode_keys(random_binary(rng, (4, 8)), 4)
+        alphas = np.ones((1, 4))
+        alphas[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            BiQGemm(km, alphas=alphas)
+
+    def test_rejects_non_keymatrix(self):
+        with pytest.raises(TypeError, match="KeyMatrix"):
+            BiQGemm(np.zeros((1, 2, 3)))
+
+    def test_metadata(self, small_engine):
+        engine, binary, alphas = small_engine
+        assert engine.shape == (12, 20)
+        assert engine.bits == 2
+        assert engine.mu == 4
+        assert engine.weight_nbytes > 0
+        assert np.array_equal(engine.alphas, alphas)
+
+
+class TestMatmulCorrectness:
+    def test_matches_reference_oracle(self, small_engine, rng):
+        engine, _, _ = small_engine
+        x = rng.standard_normal((20, 5))
+        assert np.allclose(
+            engine.matmul(x), engine.matmul_reference(x), atol=1e-8
+        )
+
+    @pytest.mark.parametrize("builder", ["dp", "dp-nosym", "gemm", "auto"])
+    def test_all_builders_agree(self, small_engine, rng, builder):
+        engine, _, _ = small_engine
+        x = rng.standard_normal((20, 3))
+        expected = engine.matmul_reference(x)
+        assert np.allclose(engine.matmul(x, builder=builder), expected, atol=1e-8)
+
+    @pytest.mark.parametrize("query_impl", ["flat", "loop", "auto"])
+    def test_all_query_impls_agree(self, small_engine, rng, query_impl):
+        engine, _, _ = small_engine
+        x = rng.standard_normal((20, 3))
+        expected = engine.matmul_reference(x)
+        assert np.allclose(
+            engine.matmul(x, query_impl=query_impl), expected, atol=1e-8
+        )
+
+    def test_vector_input_returns_vector(self, small_engine, rng):
+        engine, _, _ = small_engine
+        x = rng.standard_normal(20)
+        out = engine.matmul(x)
+        assert out.shape == (12,)
+        assert np.allclose(out, engine.matmul_reference(x), atol=1e-8)
+
+    def test_batch_one_column(self, small_engine, rng):
+        engine, _, _ = small_engine
+        x = rng.standard_normal((20, 1))
+        assert engine.matmul(x).shape == (12, 1)
+
+    def test_n_not_multiple_of_mu(self, rng):
+        # n = 19 with mu = 8: padding path.
+        binary = random_binary(rng, (2, 7, 19))
+        engine = BiQGemm.from_binary(binary, mu=8)
+        x = rng.standard_normal((19, 3))
+        expected = binary.astype(float).sum(axis=0) @ x
+        assert np.allclose(engine.matmul(x), expected, atol=1e-10)
+
+    def test_mu_larger_than_n(self, rng):
+        binary = random_binary(rng, (3, 5))
+        engine = BiQGemm.from_binary(binary, mu=8)
+        x = rng.standard_normal((5, 2))
+        assert np.allclose(engine.matmul(x), binary.astype(float) @ x, atol=1e-10)
+
+    def test_float32_input_gives_float32_output(self, small_engine, rng):
+        engine, _, _ = small_engine
+        x = rng.standard_normal((20, 2)).astype(np.float32)
+        out = engine.matmul(x)
+        assert out.dtype == np.float32
+        assert np.allclose(out, engine.matmul_reference(x), atol=1e-4)
+
+    def test_integer_input_promoted(self, small_engine):
+        engine, _, _ = small_engine
+        x = np.ones((20, 2), dtype=np.int64)
+        out = engine.matmul(x)
+        assert np.issubdtype(out.dtype, np.floating)
+
+    def test_explicit_tiles_agree(self, small_engine, rng):
+        engine, _, _ = small_engine
+        x = rng.standard_normal((20, 4))
+        expected = engine.matmul_reference(x)
+        for tile_m, tile_g in [(1, 1), (3, 2), (12, 5), (5, 1)]:
+            out = engine.matmul(x, tiles=TileConfig(tile_m=tile_m, tile_g=tile_g))
+            assert np.allclose(out, expected, atol=1e-8), (tile_m, tile_g)
+
+    def test_callable_alias(self, small_engine, rng):
+        engine, _, _ = small_engine
+        x = rng.standard_normal((20, 2))
+        assert np.allclose(engine(x), engine.matmul(x))
+
+    def test_multibit_equals_sum_of_planes(self, rng):
+        # Eq. 2: multi-bit output is the alpha-weighted sum of per-plane
+        # products -- checked against independently-run 1-bit engines.
+        binary = random_binary(rng, (3, 9, 16))
+        alphas = rng.uniform(0.2, 1.5, size=(3, 9))
+        multi = BiQGemm.from_binary(binary, alphas=alphas, mu=4)
+        x = rng.standard_normal((16, 4))
+        total = np.zeros((9, 4))
+        for i in range(3):
+            single = BiQGemm.from_binary(binary[i], mu=4)
+            total += alphas[i][:, None] * single.matmul(x)
+        assert np.allclose(multi.matmul(x), total, atol=1e-10)
+
+
+class TestMatmulValidation:
+    def test_rejects_wrong_n(self, small_engine, rng):
+        engine, _, _ = small_engine
+        with pytest.raises(ValueError, match="rows"):
+            engine.matmul(rng.standard_normal((21, 2)))
+
+    def test_rejects_3d(self, small_engine, rng):
+        engine, _, _ = small_engine
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            engine.matmul(rng.standard_normal((20, 2, 2)))
+
+    def test_rejects_unknown_builder(self, small_engine, rng):
+        engine, _, _ = small_engine
+        with pytest.raises(ValueError, match="builder"):
+            engine.matmul(rng.standard_normal((20, 2)), builder="magic")
+
+    def test_rejects_unknown_query_impl(self, small_engine, rng):
+        engine, _, _ = small_engine
+        with pytest.raises(ValueError, match="query_impl"):
+            engine.matmul(rng.standard_normal((20, 2)), query_impl="magic")
+
+    def test_rejects_zero_threads(self, small_engine, rng):
+        engine, _, _ = small_engine
+        with pytest.raises(ValueError, match="threads"):
+            engine.matmul(rng.standard_normal((20, 2)), threads=0)
+
+
+class TestProfilerIntegration:
+    def test_phases_recorded(self, small_engine, rng):
+        engine, _, _ = small_engine
+        prof = PhaseProfiler()
+        engine.matmul(rng.standard_normal((20, 4)), profiler=prof)
+        assert prof.seconds["build"] > 0
+        assert prof.seconds["query"] > 0
+        assert prof.seconds["replace"] > 0
+
+    def test_profiler_accumulates_across_calls(self, small_engine, rng):
+        engine, _, _ = small_engine
+        prof = PhaseProfiler()
+        x = rng.standard_normal((20, 2))
+        engine.matmul(x, profiler=prof)
+        once = prof.calls["query"]
+        engine.matmul(x, profiler=prof)
+        assert prof.calls["query"] == 2 * once
+
+
+class TestOpCounts:
+    def test_matches_eq6_eq7(self, rng):
+        binary = random_binary(rng, (2, 10, 32))
+        engine = BiQGemm.from_binary(binary, mu=8)
+        counts = engine.op_counts(batch=4)
+        groups = 4  # ceil(32/8)
+        assert counts["build_adds"] == (256 + 7) * groups * 4
+        assert counts["lookups"] == 10 * groups * 4 * 2
+
+    def test_lookups_scale_with_bits_but_build_does_not(self, rng):
+        # Paper Section III-B: concatenating bit planes does not
+        # increase the number of lookup tables.
+        b1 = BiQGemm.from_binary(random_binary(rng, (1, 8, 16)), mu=4)
+        b3 = BiQGemm.from_binary(random_binary(rng, (3, 8, 16)), mu=4)
+        c1, c3 = b1.op_counts(2), b3.op_counts(2)
+        assert c3["build_adds"] == c1["build_adds"]
+        assert c3["lookups"] == 3 * c1["lookups"]

@@ -1,0 +1,110 @@
+"""Property-based tests for the BiQGEMM core (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import BiQGemm
+from repro.core.keys import decode_keys, encode_keys
+from repro.core.lut import build_table_reference, build_tables_dp, reshape_input
+
+
+@st.composite
+def binary_problem(draw):
+    """A random quantized matmul problem small enough for the oracle."""
+    bits = draw(st.integers(min_value=1, max_value=3))
+    m = draw(st.integers(min_value=1, max_value=12))
+    n = draw(st.integers(min_value=1, max_value=24))
+    b = draw(st.integers(min_value=1, max_value=4))
+    mu = draw(st.sampled_from([1, 2, 3, 4, 8]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    binary = rng.choice(np.array([-1, 1], dtype=np.int8), size=(bits, m, n))
+    alphas = rng.uniform(0.1, 2.0, size=(bits, m))
+    x = rng.standard_normal((n, b))
+    return binary, alphas, x, mu
+
+
+@given(problem=binary_problem())
+@settings(max_examples=40, deadline=None)
+def test_engine_matches_dense_oracle(problem):
+    """BiQGEMM == Eq. 2 dense computation for arbitrary shapes/mu."""
+    binary, alphas, x, mu = problem
+    engine = BiQGemm.from_binary(binary, alphas=alphas, mu=mu)
+    expected = np.einsum(
+        "im,imn,nb->mb", alphas, binary.astype(np.float64), x
+    )
+    out = engine.matmul(x)
+    assert np.allclose(out, expected, atol=1e-8)
+
+
+@given(problem=binary_problem())
+@settings(max_examples=20, deadline=None)
+def test_builders_and_impls_agree(problem):
+    binary, alphas, x, mu = problem
+    engine = BiQGemm.from_binary(binary, alphas=alphas, mu=mu)
+    base = engine.matmul(x, builder="dp", query_impl="loop")
+    for builder in ("dp-nosym", "gemm"):
+        for impl in ("flat", "loop"):
+            assert np.allclose(
+                engine.matmul(x, builder=builder, query_impl=impl),
+                base,
+                atol=1e-8,
+            )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    bits=st.integers(min_value=1, max_value=4),
+    m=st.integers(min_value=1, max_value=10),
+    n=st.integers(min_value=1, max_value=40),
+    mu=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_key_round_trip(seed, bits, m, n, mu):
+    """encode -> decode is the identity for any shape and mu."""
+    rng = np.random.default_rng(seed)
+    binary = rng.choice(np.array([-1, 1], dtype=np.int8), size=(bits, m, n))
+    km = encode_keys(binary, mu)
+    assert np.array_equal(decode_keys(km), binary)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mu=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_dp_table_matches_reference(seed, mu):
+    """Vectorized DP == paper Algorithm 1 transcription, entry by entry."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(mu)
+    xhat = reshape_input(x, mu)
+    fast = build_tables_dp(xhat)[0, :, 0]
+    ref = build_table_reference(x, mu)
+    assert np.allclose(fast, ref, atol=1e-10)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mu=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_table_negation_symmetry(seed, mu):
+    """Algorithm 1 lines 8-9 invariant: table[2^mu-1-k] == -table[k]."""
+    rng = np.random.default_rng(seed)
+    xhat = reshape_input(rng.standard_normal(mu), mu)
+    table = build_tables_dp(xhat)[0, :, 0]
+    assert np.allclose(table[::-1], -table, atol=1e-10)
+
+
+@given(problem=binary_problem())
+@settings(max_examples=20, deadline=None)
+def test_linearity_in_input(problem):
+    """matmul(a*x + y) == a*matmul(x) + matmul(y) -- the engine is linear."""
+    binary, alphas, x, mu = problem
+    engine = BiQGemm.from_binary(binary, alphas=alphas, mu=mu)
+    rng = np.random.default_rng(0)
+    y = rng.standard_normal(x.shape)
+    lhs = engine.matmul(2.5 * x + y)
+    rhs = 2.5 * engine.matmul(x) + engine.matmul(y)
+    assert np.allclose(lhs, rhs, atol=1e-7)

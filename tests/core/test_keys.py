@@ -1,0 +1,114 @@
+"""Unit tests for key-matrix compilation (repro.core.keys)."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import KeyMatrix, decode_keys, encode_keys, key_dtype
+from tests.conftest import random_binary
+
+
+class TestKeyDtype:
+    def test_uint8_up_to_mu8(self):
+        assert key_dtype(1) == np.uint8
+        assert key_dtype(8) == np.uint8
+
+    def test_uint16_above(self):
+        assert key_dtype(9) == np.uint16
+        assert key_dtype(16) == np.uint16
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            key_dtype(17)
+        with pytest.raises(ValueError):
+            key_dtype(0)
+
+
+class TestEncodeKeys:
+    def test_paper_fig5_example(self):
+        # {-1, 1, 1, -1} -> 0110b = 6 (paper Fig. 5).
+        b = np.array([[-1, 1, 1, -1]], dtype=np.int8)
+        km = encode_keys(b, 4)
+        assert km.keys[0, 0, 0] == 6
+
+    def test_msb_is_first_element(self):
+        b = np.array([[1, -1, -1, -1]], dtype=np.int8)
+        km = encode_keys(b, 4)
+        assert km.keys[0, 0, 0] == 0b1000
+
+    def test_round_trip(self, rng):
+        b = random_binary(rng, (3, 6, 24))
+        km = encode_keys(b, 4)
+        assert np.array_equal(decode_keys(km), b)
+
+    def test_round_trip_with_padding(self, rng):
+        # n = 19 is not a multiple of mu = 8.
+        b = random_binary(rng, (2, 5, 19))
+        km = encode_keys(b, 8)
+        assert km.groups == 3
+        assert np.array_equal(decode_keys(km), b)
+
+    def test_2d_promoted_to_single_plane(self, rng):
+        b = random_binary(rng, (4, 16))
+        km = encode_keys(b, 4)
+        assert km.bits == 1
+        assert km.m == 4
+        assert np.array_equal(decode_keys(km)[0], b)
+
+    def test_key_range(self, rng):
+        km = encode_keys(random_binary(rng, (8, 40)), 5)
+        assert km.keys.max() < 32
+
+    def test_padding_encodes_as_minus_one(self):
+        # A single +1 column with mu=4: pad bits must be 0 (=-1).
+        b = np.ones((1, 1), dtype=np.int8)
+        km = encode_keys(b, 4)
+        assert km.keys[0, 0, 0] == 0b1000
+
+    def test_nbytes(self, rng):
+        km = encode_keys(random_binary(rng, (2, 8, 32)), 8)
+        assert km.nbytes == 2 * 8 * 4  # uint8 keys
+
+    def test_uint16_keys_for_large_mu(self, rng):
+        b = random_binary(rng, (4, 24))
+        km = encode_keys(b, 12)
+        assert km.keys.dtype == np.uint16
+        assert np.array_equal(decode_keys(km)[0], b)
+
+    def test_rejects_mu_out_of_range(self, rng):
+        b = random_binary(rng, (2, 8))
+        with pytest.raises(ValueError):
+            encode_keys(b, 0)
+        with pytest.raises(ValueError):
+            encode_keys(b, 17)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="-1/\\+1"):
+            encode_keys(np.zeros((2, 4), dtype=np.int8), 2)
+
+    def test_rejects_wrong_ndim(self, rng):
+        with pytest.raises(ValueError, match="2-D or 3-D"):
+            encode_keys(random_binary(rng, (2, 2, 2, 2)), 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            encode_keys(np.zeros((2, 0), dtype=np.int8), 2)
+
+
+class TestKeyMatrix:
+    def test_validates_groups_vs_n(self, rng):
+        keys = np.zeros((1, 4, 3), dtype=np.uint8)
+        with pytest.raises(ValueError, match="groups"):
+            KeyMatrix(keys=keys, mu=4, n=20)  # needs 5 groups
+
+    def test_validates_key_range(self):
+        keys = np.full((1, 2, 1), 16, dtype=np.uint8)
+        with pytest.raises(ValueError, match="2\\*\\*mu"):
+            KeyMatrix(keys=keys, mu=4, n=4)
+
+    def test_validates_ndim(self):
+        with pytest.raises(ValueError, match="bits, m, groups"):
+            KeyMatrix(keys=np.zeros((2, 2), dtype=np.uint8), mu=4, n=8)
+
+    def test_decode_rejects_non_keymatrix(self):
+        with pytest.raises(TypeError, match="KeyMatrix"):
+            decode_keys(np.zeros((1, 2, 3)))

@@ -1,0 +1,70 @@
+"""Unit tests for threaded tile execution (repro.core.multithread)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import BiQGemm
+from repro.core.multithread import shutdown_pools
+from repro.core.profiling import PhaseProfiler
+from repro.core.tiling import TileConfig
+from tests.conftest import random_binary
+
+
+@pytest.fixture(autouse=True)
+def _clean_pools():
+    yield
+    shutdown_pools()
+
+
+class TestThreadedMatmul:
+    @pytest.mark.parametrize("threads", [2, 3, 8])
+    def test_matches_serial(self, rng, threads):
+        binary = random_binary(rng, (2, 30, 40))
+        alphas = rng.uniform(0.5, 1.5, size=(2, 30))
+        engine = BiQGemm.from_binary(binary, alphas=alphas, mu=4)
+        x = rng.standard_normal((40, 6))
+        serial = engine.matmul(x, threads=1)
+        parallel = engine.matmul(x, threads=threads)
+        assert np.allclose(serial, parallel, atol=1e-10)
+
+    def test_threaded_with_small_tiles(self, rng):
+        binary = random_binary(rng, (17, 23))
+        engine = BiQGemm.from_binary(binary, mu=4)
+        x = rng.standard_normal((23, 3))
+        tiles = TileConfig(tile_m=4, tile_g=2)
+        out = engine.matmul(x, threads=4, tiles=tiles)
+        assert np.allclose(out, engine.matmul_reference(x), atol=1e-10)
+
+    def test_threaded_with_profiler(self, rng):
+        engine = BiQGemm.from_binary(random_binary(rng, (16, 16)), mu=4)
+        x = rng.standard_normal((16, 2))
+        prof = PhaseProfiler()
+        engine.matmul(x, threads=2, profiler=prof)
+        assert prof.seconds["build"] > 0
+        assert prof.seconds["query"] > 0
+
+    def test_threads_more_than_tiles(self, rng):
+        engine = BiQGemm.from_binary(random_binary(rng, (4, 8)), mu=4)
+        x = rng.standard_normal((8, 2))
+        out = engine.matmul(x, threads=16)
+        assert np.allclose(out, engine.matmul_reference(x), atol=1e-10)
+
+    def test_worker_exception_propagates(self, rng, monkeypatch):
+        engine = BiQGemm.from_binary(random_binary(rng, (8, 8)), mu=4)
+        x = rng.standard_normal((8, 2))
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(engine, "_query_tile", boom)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            engine.matmul(x, threads=2)
+
+    def test_pool_reuse(self, rng):
+        # Two calls with the same thread count reuse one pool (no error,
+        # identical results).
+        engine = BiQGemm.from_binary(random_binary(rng, (8, 8)), mu=4)
+        x = rng.standard_normal((8, 2))
+        a = engine.matmul(x, threads=2)
+        b = engine.matmul(x, threads=2)
+        assert np.allclose(a, b)

@@ -1,0 +1,92 @@
+"""Unit tests for engine serialization (repro.core.serialize)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import BiQGemm
+from repro.core.serialize import load_engine, save_engine
+from tests.conftest import random_binary
+
+
+@pytest.fixture()
+def engine(rng):
+    binary = random_binary(rng, (2, 12, 30))
+    alphas = rng.uniform(0.2, 1.5, size=(2, 12))
+    return BiQGemm.from_binary(binary, alphas=alphas, mu=4)
+
+
+class TestRoundTrip:
+    def test_identical_results(self, engine, rng, tmp_path):
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        loaded = load_engine(path)
+        x = rng.standard_normal((30, 5))
+        assert np.array_equal(loaded.matmul(x), engine.matmul(x))
+
+    def test_metadata_preserved(self, engine, tmp_path):
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        loaded = load_engine(path)
+        assert loaded.shape == engine.shape
+        assert loaded.bits == engine.bits
+        assert loaded.mu == engine.mu
+        assert np.array_equal(loaded.alphas, engine.alphas)
+
+    def test_implicit_npz_suffix(self, engine, tmp_path):
+        # np.savez appends .npz; load must find it either way.
+        path = tmp_path / "engine"
+        save_engine(engine, path)
+        loaded = load_engine(path)
+        assert loaded.shape == engine.shape
+
+    def test_file_smaller_than_fp32_weights(self, rng, tmp_path):
+        engine = BiQGemm.from_binary(random_binary(rng, (256, 512)), mu=8)
+        path = tmp_path / "big.npz"
+        save_engine(engine, path)
+        fp32 = 256 * 512 * 4
+        assert path.stat().st_size < fp32 / 8
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_engine(tmp_path / "nope.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a BiQGEMM engine"):
+            load_engine(path)
+
+    def test_bad_version_rejected(self, engine, tmp_path):
+        path = tmp_path / "versioned.npz"
+        np.savez(
+            path,
+            format_version=np.int64(99),
+            keys=engine.key_matrix.keys,
+            alphas=engine.alphas,
+            mu=np.int64(engine.mu),
+            n=np.int64(engine.shape[1]),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_engine(path)
+
+    def test_corrupt_keys_rejected(self, engine, tmp_path):
+        # Keys exceeding 2^mu must be caught by KeyMatrix validation.
+        path = tmp_path / "corrupt.npz"
+        bad_keys = engine.key_matrix.keys.copy()
+        bad_keys[0, 0, 0] = 255  # mu=4 -> max valid is 15
+        np.savez(
+            path,
+            format_version=np.int64(1),
+            keys=bad_keys,
+            alphas=engine.alphas,
+            mu=np.int64(engine.mu),
+            n=np.int64(engine.shape[1]),
+        )
+        with pytest.raises(ValueError, match="2\\*\\*mu"):
+            load_engine(path)
+
+    def test_save_rejects_non_engine(self, tmp_path):
+        with pytest.raises(TypeError, match="BiQGemm"):
+            save_engine(np.zeros(3), tmp_path / "x.npz")

@@ -1,0 +1,86 @@
+"""Unit tests for LUT-stationary tiling (repro.core.tiling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import TileConfig, choose_tiles, iter_tiles, lut_tile_bytes
+
+
+class TestTileConfig:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TileConfig(tile_m=0, tile_g=1)
+        with pytest.raises(ValueError):
+            TileConfig(tile_m=1, tile_g=-1)
+
+
+class TestIterTiles:
+    def test_exact_cover_no_overlap(self):
+        m, groups = 10, 7
+        cfg = TileConfig(tile_m=3, tile_g=2)
+        covered = np.zeros((m, groups), dtype=int)
+        for r_sl, g_sl in iter_tiles(m, groups, cfg):
+            covered[r_sl, g_sl] += 1
+        assert (covered == 1).all()
+
+    def test_group_loop_is_outermost(self):
+        # LUT-stationary: all row tiles for one group tile appear before
+        # the next group tile starts (Algorithm 2 ordering).
+        cfg = TileConfig(tile_m=2, tile_g=3)
+        seen_groups = []
+        for _r, g_sl in iter_tiles(6, 9, cfg):
+            seen_groups.append(g_sl.start)
+        # starts must be non-decreasing.
+        assert seen_groups == sorted(seen_groups)
+
+    def test_single_tile(self):
+        tiles = list(iter_tiles(4, 4, TileConfig(tile_m=10, tile_g=10)))
+        assert tiles == [(slice(0, 4), slice(0, 4))]
+
+    def test_tile_count(self):
+        tiles = list(iter_tiles(10, 6, TileConfig(tile_m=4, tile_g=2)))
+        assert len(tiles) == 3 * 3  # ceil(10/4) * ceil(6/2)
+
+    def test_ragged_edges(self):
+        tiles = list(iter_tiles(5, 5, TileConfig(tile_m=2, tile_g=3)))
+        last_rows = max(sl.stop for sl, _ in tiles)
+        last_groups = max(sl.stop for _, sl in tiles)
+        assert last_rows == 5
+        assert last_groups == 5
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            list(iter_tiles(0, 4, TileConfig(tile_m=1, tile_g=1)))
+
+
+class TestLutTileBytes:
+    def test_formula(self):
+        assert lut_tile_bytes(3, 4, 8, itemsize=4) == 3 * 16 * 8 * 4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lut_tile_bytes(0, 4, 8)
+
+
+class TestChooseTiles:
+    def test_respects_sram_budget(self):
+        cfg = choose_tiles(1024, 128, mu=8, batch=32, sram_bytes=1 << 20)
+        assert lut_tile_bytes(cfg.tile_g, 8, 32) <= 1 << 20
+
+    def test_tile_g_at_least_one_even_when_table_exceeds_sram(self):
+        # A single table larger than SRAM: must still make progress
+        # (the degradation case the paper discusses).
+        cfg = choose_tiles(64, 16, mu=8, batch=4096, sram_bytes=1 << 10)
+        assert cfg.tile_g == 1
+
+    def test_bounded_by_problem(self):
+        cfg = choose_tiles(8, 4, mu=4, batch=2)
+        assert cfg.tile_m <= 8
+        assert cfg.tile_g <= 4
+
+    def test_gather_budget_limits_tile_m(self):
+        cfg = choose_tiles(
+            1 << 20, 64, mu=8, batch=64, gather_budget=1 << 12
+        )
+        assert cfg.tile_m * cfg.tile_g * 64 <= (1 << 12) * 64  # loose sanity
+        assert cfg.tile_m >= 1

@@ -1,0 +1,139 @@
+"""Unit tests for fixed-point INT8 GEMM (repro.gemm.int8)."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.int8 import Int8Gemm, quantize_activations_int8
+
+
+class TestQuantizeActivations:
+    def test_round_trip_error_bounded(self, rng):
+        x = rng.standard_normal((16, 4))
+        codes, scales = quantize_activations_int8(x)
+        recon = codes * scales
+        assert np.abs(x - recon).max() <= scales.max() / 2 + 1e-12
+
+    def test_per_column_scales(self, rng):
+        x = rng.standard_normal((16, 3))
+        x[:, 1] *= 50.0
+        _, scales = quantize_activations_int8(x)
+        assert scales.shape == (1, 3)
+        assert scales[0, 1] > 10 * scales[0, 0]
+
+    def test_codes_in_int8_range(self, rng):
+        codes, _ = quantize_activations_int8(rng.standard_normal((8, 2)) * 100)
+        assert codes.max() <= 127
+        assert codes.min() >= -128
+
+    def test_zero_column(self):
+        x = np.zeros((4, 2))
+        x[:, 1] = 1.0
+        codes, scales = quantize_activations_int8(x)
+        assert not codes[:, 0].any()
+        assert np.isfinite(scales).all()
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            quantize_activations_int8(rng.standard_normal(8))
+
+    def test_rejects_low_bits(self, rng):
+        with pytest.raises(ValueError, match="bits >= 2"):
+            quantize_activations_int8(rng.standard_normal((4, 2)), bits=1)
+
+
+class TestInt8Gemm:
+    def test_close_to_float_product(self, rng):
+        w = rng.standard_normal((24, 64))
+        x = rng.standard_normal((64, 8))
+        engine = Int8Gemm(w)
+        exact = w @ x
+        rel = np.linalg.norm(engine.matmul(x) - exact) / np.linalg.norm(exact)
+        assert rel < 0.02  # 8/8-bit is near-lossless, as in Table I
+
+    def test_matches_dequantized_pipeline(self, rng):
+        # The integer path must equal float GEMM over the *dequantized*
+        # operands exactly (same grids, exact int32 accumulation).
+        w = rng.standard_normal((10, 32))
+        x = rng.standard_normal((32, 4))
+        engine = Int8Gemm(w)
+        codes, scales = quantize_activations_int8(x)
+        expected = engine.dequantized() @ (codes * scales)
+        assert np.allclose(engine.matmul(x), expected, atol=1e-10)
+
+    def test_lower_bits_more_error(self, rng):
+        w = rng.standard_normal((16, 64))
+        x = rng.standard_normal((64, 4))
+        exact = w @ x
+        errs = [
+            np.linalg.norm(Int8Gemm(w, w_bits=b).matmul(x, a_bits=b) - exact)
+            for b in (4, 6, 8)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_vector_input(self, rng):
+        engine = Int8Gemm(rng.standard_normal((6, 16)))
+        assert engine.matmul(rng.standard_normal(16)).shape == (6,)
+
+    def test_weight_nbytes_smaller_than_fp32(self, rng):
+        engine = Int8Gemm(rng.standard_normal((64, 64)))
+        assert engine.weight_nbytes < 64 * 64 * 4 / 2
+
+    def test_rejects_wrong_x(self, rng):
+        engine = Int8Gemm(rng.standard_normal((4, 8)))
+        with pytest.raises(ValueError, match="x must be"):
+            engine.matmul(rng.standard_normal((7, 2)))
+
+    def test_rejects_bad_bits(self, rng):
+        with pytest.raises(ValueError):
+            Int8Gemm(rng.standard_normal((4, 8)), w_bits=1)
+
+
+class TestInt8CostModel:
+    def test_registered_in_dispatcher(self):
+        from repro.hw.costmodel import estimate
+        from repro.hw.machine import MACHINES
+
+        est = estimate("int8", MACHINES["pc"], 512, 512, 8)
+        assert est.seconds > 0
+
+    def test_conversion_overhead_increases_time(self):
+        from repro.hw.costmodel import estimate_int8_gemm
+        from repro.hw.machine import MACHINES
+
+        pc = MACHINES["pc"]
+        lo = estimate_int8_gemm(pc, 1024, 1024, 64, conversion_overhead=0.0)
+        hi = estimate_int8_gemm(pc, 1024, 1024, 64, conversion_overhead=0.3)
+        assert hi.compute_seconds > lo.compute_seconds
+        # The paper's 15-30% band: overhead=0.3 costs ~30% more compute.
+        assert hi.compute_seconds == pytest.approx(
+            1.3 * lo.compute_seconds, rel=1e-6
+        )
+
+    def test_int8_faster_than_fp32_gemm_large_batch(self):
+        from repro.hw.costmodel import estimate_gemm, estimate_int8_gemm
+        from repro.hw.machine import MACHINES
+
+        pc = MACHINES["pc"]
+        int8 = estimate_int8_gemm(pc, 2048, 2048, 256).seconds
+        fp32 = estimate_gemm(pc, 2048, 2048, 256).seconds
+        assert int8 < fp32
+
+    def test_biqgemm_beats_int8_at_small_batch(self):
+        # The paper's pitch: weight-only BCQ + BiQGEMM wins the
+        # memory-bound regime even against fixed-point pipelines.
+        from repro.hw.costmodel import estimate_biqgemm, estimate_int8_gemm
+        from repro.hw.machine import MACHINES
+
+        pc = MACHINES["pc"]
+        biq = estimate_biqgemm(pc, 2048, 2048, 1, bits=2).seconds
+        int8 = estimate_int8_gemm(pc, 2048, 2048, 1).seconds
+        assert biq < int8
+
+    def test_rejects_bad_overhead(self):
+        from repro.hw.costmodel import estimate_int8_gemm
+        from repro.hw.machine import MACHINES
+
+        with pytest.raises(ValueError, match="conversion_overhead"):
+            estimate_int8_gemm(
+                MACHINES["pc"], 4, 4, 1, conversion_overhead=1.5
+            )

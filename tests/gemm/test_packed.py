@@ -1,0 +1,95 @@
+"""Unit tests for packed-weight GEMM (repro.gemm.packed, Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.packed import (
+    gemm_with_unpack,
+    gemm_without_unpack,
+    unpack_flop_count,
+)
+from repro.quant.packing import pack_bits
+from tests.conftest import random_binary
+
+
+class TestGemmWithUnpack:
+    def test_correct_product(self, rng):
+        b = random_binary(rng, (7, 40))
+        x = rng.standard_normal((40, 3))
+        packed = pack_bits(b)
+        assert np.allclose(gemm_with_unpack(packed, x), b.astype(float) @ x)
+
+    def test_non_multiple_of_container(self, rng):
+        b = random_binary(rng, (4, 37))
+        x = rng.standard_normal((37, 2))
+        packed = pack_bits(b)
+        assert np.allclose(gemm_with_unpack(packed, x), b.astype(float) @ x)
+
+    def test_vector_input(self, rng):
+        b = random_binary(rng, (4, 16))
+        x = rng.standard_normal(16)
+        out = gemm_with_unpack(pack_bits(b), x)
+        assert out.shape == (4,)
+
+    def test_float32_path(self, rng):
+        b = random_binary(rng, (4, 32))
+        x = rng.standard_normal((32, 2)).astype(np.float32)
+        out = gemm_with_unpack(pack_bits(b), x)
+        assert out.dtype == np.float32
+
+    def test_rejects_non_packed(self, rng):
+        with pytest.raises(TypeError, match="PackedBits"):
+            gemm_with_unpack(np.zeros((2, 2)), rng.standard_normal((2, 1)))
+
+    def test_rejects_wrong_x_rows(self, rng):
+        packed = pack_bits(random_binary(rng, (4, 32)))
+        with pytest.raises(ValueError, match="rows"):
+            gemm_with_unpack(packed, rng.standard_normal((31, 2)))
+
+    def test_rejects_1d_packed(self, rng):
+        packed = pack_bits(random_binary(rng, (32,)))
+        with pytest.raises(ValueError, match="2-D"):
+            gemm_with_unpack(packed, rng.standard_normal((32, 1)))
+
+
+class TestGemmWithoutUnpack:
+    def test_output_shape_matches_true_product(self, rng):
+        b = random_binary(rng, (6, 64))
+        x = rng.standard_normal((64, 5))
+        out = gemm_without_unpack(pack_bits(b), x)
+        assert out.shape == (6, 5)
+
+    def test_values_differ_from_true_product(self, rng):
+        # It is a bandwidth probe: results are intentionally wrong.
+        b = random_binary(rng, (6, 64))
+        x = rng.standard_normal((64, 5))
+        out = gemm_without_unpack(pack_bits(b), x)
+        true = b.astype(float) @ x
+        assert not np.allclose(out, true)
+
+    def test_vector_input(self, rng):
+        b = random_binary(rng, (3, 32))
+        out = gemm_without_unpack(pack_bits(b), rng.standard_normal(32))
+        assert out.shape == (3,)
+
+    def test_touches_only_packed_words(self, rng):
+        # The probe multiplies (m, n/32) words -- verify it works when
+        # n < container (a single word per row).
+        b = random_binary(rng, (3, 8))
+        out = gemm_without_unpack(pack_bits(b), rng.standard_normal((8, 2)))
+        assert out.shape == (3, 2)
+
+    def test_rejects_non_packed(self, rng):
+        with pytest.raises(TypeError, match="PackedBits"):
+            gemm_without_unpack(np.zeros((2, 2)), rng.standard_normal((2, 1)))
+
+
+class TestUnpackFlopCount:
+    def test_formula(self):
+        assert unpack_flop_count(4, 32) == 4 * 4 * 32
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            unpack_flop_count(0, 4)
+        with pytest.raises(ValueError):
+            unpack_flop_count(4, 4, container_bits=0)

@@ -1,0 +1,68 @@
+"""Unit tests for textbook GEMM kernels (repro.gemm.reference)."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.reference import gemm_blocked, gemm_reference
+
+
+class TestGemmReference:
+    def test_matches_numpy(self, rng):
+        w = rng.standard_normal((5, 7))
+        x = rng.standard_normal((7, 3))
+        assert np.allclose(gemm_reference(w, x), w @ x)
+
+    def test_vector_input(self, rng):
+        w = rng.standard_normal((4, 6))
+        x = rng.standard_normal(6)
+        out = gemm_reference(w, x)
+        assert out.shape == (4,)
+        assert np.allclose(out, w @ x)
+
+    def test_identity(self):
+        eye = np.eye(4)
+        x = np.arange(8.0).reshape(4, 2)
+        assert np.allclose(gemm_reference(eye, x), x)
+
+    def test_rejects_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            gemm_reference(rng.standard_normal((3, 4)), rng.standard_normal((5, 2)))
+
+    def test_rejects_3d(self, rng):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            gemm_reference(
+                rng.standard_normal((3, 4)), rng.standard_normal((4, 2, 2))
+            )
+
+    def test_rejects_1d_weights(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            gemm_reference(rng.standard_normal(4), rng.standard_normal(4))
+
+
+class TestGemmBlocked:
+    @pytest.mark.parametrize("block", [1, 2, 3, 64])
+    def test_matches_numpy_various_blocks(self, rng, block):
+        w = rng.standard_normal((9, 13))
+        x = rng.standard_normal((13, 5))
+        assert np.allclose(gemm_blocked(w, x, block=block), w @ x)
+
+    def test_vector_input(self, rng):
+        w = rng.standard_normal((6, 10))
+        x = rng.standard_normal(10)
+        assert np.allclose(gemm_blocked(w, x, block=4), w @ x)
+
+    def test_block_larger_than_matrix(self, rng):
+        w = rng.standard_normal((3, 3))
+        x = rng.standard_normal((3, 2))
+        assert np.allclose(gemm_blocked(w, x, block=100), w @ x)
+
+    def test_rejects_bad_block(self, rng):
+        with pytest.raises(ValueError, match="block"):
+            gemm_blocked(
+                rng.standard_normal((2, 2)), rng.standard_normal((2, 2)), block=0
+            )
+
+    def test_matches_reference(self, rng):
+        w = rng.standard_normal((4, 6))
+        x = rng.standard_normal((6, 2))
+        assert np.allclose(gemm_blocked(w, x, block=2), gemm_reference(w, x))

@@ -1,0 +1,130 @@
+"""Unit tests for XNOR-popcount GEMM (repro.gemm.xnor)."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.xnor import XnorGemm, xnor_popcount_dot
+from repro.quant.bcq import bcq_quantize
+from repro.quant.greedy import greedy_bcq
+from repro.quant.packing import pack_bits
+from tests.conftest import random_binary
+
+
+class TestXnorPopcountDot:
+    def test_exact_dot_products(self, rng):
+        w = random_binary(rng, (5, 70))
+        s = random_binary(rng, (3, 70))
+        wp = pack_bits(w, container_bits=64).words
+        sp = pack_bits(s, container_bits=64).words
+        dots = xnor_popcount_dot(wp, sp, 70)
+        expected = w.astype(np.int64) @ s.astype(np.int64).T
+        assert np.array_equal(dots, expected)
+
+    def test_exact_with_word_padding(self, rng):
+        # n = 65 forces a second, almost-empty word.
+        w = random_binary(rng, (4, 65))
+        s = random_binary(rng, (2, 65))
+        wp = pack_bits(w, container_bits=64).words
+        sp = pack_bits(s, container_bits=64).words
+        assert np.array_equal(
+            xnor_popcount_dot(wp, sp, 65),
+            w.astype(np.int64) @ s.astype(np.int64).T,
+        )
+
+    def test_identical_vectors_give_n(self, rng):
+        v = random_binary(rng, (1, 64))
+        vp = pack_bits(v, container_bits=64).words
+        assert xnor_popcount_dot(vp, vp, 64)[0, 0] == 64
+
+    def test_opposite_vectors_give_minus_n(self, rng):
+        v = random_binary(rng, (1, 64))
+        vp = pack_bits(v, container_bits=64).words
+        np_ = pack_bits(-v, container_bits=64).words
+        assert xnor_popcount_dot(vp, np_, 64)[0, 0] == -64
+
+    def test_chunking_consistency(self, rng, monkeypatch):
+        import repro.gemm.xnor as xnor_mod
+
+        w = random_binary(rng, (8, 128))
+        s = random_binary(rng, (16, 128))
+        wp = pack_bits(w, container_bits=64).words
+        sp = pack_bits(s, container_bits=64).words
+        full = xnor_popcount_dot(wp, sp, 128)
+        monkeypatch.setattr(xnor_mod, "_CHUNK_ELEMENTS", 16)
+        chunked = xnor_popcount_dot(wp, sp, 128)
+        assert np.array_equal(full, chunked)
+
+    def test_rejects_word_mismatch(self, rng):
+        with pytest.raises(ValueError, match="word counts"):
+            xnor_popcount_dot(
+                np.zeros((2, 2), dtype=np.uint64),
+                np.zeros((2, 3), dtype=np.uint64),
+                64,
+            )
+
+
+class TestXnorGemm:
+    def test_exact_for_binary_activations(self, rng):
+        b = random_binary(rng, (9, 33))
+        s = random_binary(rng, (33, 4)).astype(np.float64)
+        engine = XnorGemm(b)
+        assert np.allclose(engine.matmul(s, a_bits=1), b.astype(float) @ s)
+
+    def test_matches_eq3_for_quantized_both_sides(self, rng):
+        # y = sum_i sum_j alpha_i gamma_j (B_i . s_j): compare against a
+        # dense evaluation of the same double sum.
+        w = rng.standard_normal((6, 40))
+        x = rng.standard_normal((40, 3))
+        w_bits, a_bits = 2, 2
+        t = bcq_quantize(w, w_bits)
+        engine = XnorGemm(t.binary, t.alphas)
+        out = engine.matmul(x, a_bits=a_bits)
+        gammas, s_planes = greedy_bcq(x, a_bits, axis=0)
+        expected = np.zeros((6, 3))
+        for i in range(w_bits):
+            for j in range(a_bits):
+                dots = t.binary[i].astype(float) @ s_planes[j].astype(float)
+                expected += t.alphas[i][:, None] * gammas[j][None, :] * dots
+        assert np.allclose(out, expected, atol=1e-8)
+
+    def test_more_activation_bits_reduce_error(self, rng):
+        w = rng.standard_normal((16, 64))
+        x = rng.standard_normal((64, 8))
+        t = bcq_quantize(w, 3)
+        engine = XnorGemm(t.binary, t.alphas)
+        exact = t.matmul_dense(x)
+        errs = [
+            np.linalg.norm(engine.matmul(x, a_bits=a) - exact)
+            for a in (1, 2, 4)
+        ]
+        assert errs[2] < errs[0]
+
+    def test_from_float(self, rng):
+        w = rng.standard_normal((5, 32))
+        engine = XnorGemm.from_float(w, bits=2)
+        assert engine.shape == (5, 32)
+        assert engine.weight_bits == 2
+
+    def test_vector_input(self, rng):
+        engine = XnorGemm(random_binary(rng, (4, 16)))
+        out = engine.matmul(rng.standard_normal(16))
+        assert out.shape == (4,)
+
+    def test_weight_nbytes_packed(self, rng):
+        engine = XnorGemm(random_binary(rng, (4, 128)))
+        # 128 bits = 2 uint64 words per row, 4 rows, plus 4 scales.
+        assert engine.weight_nbytes == 4 * 2 * 8 + 4 * 8
+
+    def test_rejects_wrong_x_shape(self, rng):
+        engine = XnorGemm(random_binary(rng, (4, 16)))
+        with pytest.raises(ValueError, match="x must be"):
+            engine.matmul(rng.standard_normal((15, 2)))
+
+    def test_rejects_bad_a_bits(self, rng):
+        engine = XnorGemm(random_binary(rng, (4, 16)))
+        with pytest.raises(ValueError, match="a_bits"):
+            engine.matmul(rng.standard_normal((16, 2)), a_bits=0)
+
+    def test_rejects_bad_alpha_shape(self, rng):
+        with pytest.raises(ValueError, match="alphas"):
+            XnorGemm(random_binary(rng, (4, 16)), np.ones((3, 7)))

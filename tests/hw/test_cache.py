@@ -1,0 +1,52 @@
+"""Unit tests for the SRAM working-set model (repro.hw.cache)."""
+
+import pytest
+
+from repro.hw.cache import lut_working_set_bytes, max_resident_groups, spill_factor
+from repro.hw.machine import MACHINES
+
+
+class TestWorkingSet:
+    def test_formula(self):
+        assert lut_working_set_bytes(8, 32) == 256 * 32 * 4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lut_working_set_bytes(0, 1)
+
+
+class TestMaxResidentGroups:
+    def test_pc_single_table_at_batch_32(self):
+        # 2^8 * 32 * 4 = 32 KB exactly fills the i7's L1.
+        assert max_resident_groups(MACHINES["pc"], 8, 32) == 1
+
+    def test_small_batch_fits_many(self):
+        assert max_resident_groups(MACHINES["pc"], 8, 1) == 32
+
+    def test_never_below_one(self):
+        assert max_resident_groups(MACHINES["pc"], 8, 4096) == 1
+
+
+class TestSpillFactor:
+    def test_no_penalty_when_fits(self):
+        assert spill_factor(MACHINES["pc"], 8, 1) == 1.0
+        assert spill_factor(MACHINES["pc"], 8, 32) == 1.0
+
+    def test_penalty_grows_with_batch(self):
+        pc = MACHINES["pc"]
+        f128 = spill_factor(pc, 8, 128)
+        f256 = spill_factor(pc, 8, 256)
+        assert f256 < f128 < 1.0
+
+    def test_sqrt_exponent_value(self):
+        # batch 128: table = 128 KB vs 32 KB L1 -> (1/4)^0.5 = 0.5.
+        assert spill_factor(MACHINES["pc"], 8, 128) == pytest.approx(0.5)
+
+    def test_gpu_has_no_penalty(self):
+        # Paper: scratchpad hides irregular access on GPU.
+        assert spill_factor(MACHINES["v100"], 8, 4096) == 1.0
+
+    def test_mobile_larger_l1_spills_later(self):
+        mobile, pc = MACHINES["mobile"], MACHINES["pc"]
+        assert spill_factor(mobile, 8, 64) == 1.0  # 64 KB table in 64 KB L1
+        assert spill_factor(pc, 8, 64) < 1.0

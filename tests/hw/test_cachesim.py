@@ -1,0 +1,126 @@
+"""Unit tests for the cache simulator (repro.hw.cachesim)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.cachesim import CacheConfig, CacheSim, simulate_query_hit_rate
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, line_bytes=64, ways=8)
+        assert cfg.n_sets == 64
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+
+class TestCacheSim:
+    def _tiny(self):
+        # 4 sets x 2 ways x 16B lines = 128 bytes.
+        return CacheSim(CacheConfig(size_bytes=128, line_bytes=16, ways=2))
+
+    def test_first_access_misses(self):
+        sim = self._tiny()
+        assert sim.access(0) is False
+        assert sim.misses == 1
+
+    def test_second_access_hits(self):
+        sim = self._tiny()
+        sim.access(0)
+        assert sim.access(4) is True  # same 16-byte line
+        assert sim.hits == 1
+
+    def test_different_lines_same_set(self):
+        sim = self._tiny()
+        # Lines 0 and 4 map to set 0 (4 sets); both fit in 2 ways.
+        sim.access(0)
+        sim.access(4 * 16)
+        assert sim.access(0) is True
+        assert sim.access(4 * 16) is True
+
+    def test_lru_eviction(self):
+        sim = self._tiny()
+        # Three distinct lines in set 0 with 2 ways: the oldest evicts.
+        sim.access(0 * 16)
+        sim.access(4 * 16)
+        sim.access(8 * 16)  # evicts line 0
+        assert sim.access(0 * 16) is False
+        # Line 8 must still be resident (line 4 was evicted above).
+        assert sim.access(8 * 16) is True
+
+    def test_sequential_stream_line_reuse(self):
+        sim = self._tiny()
+        for addr in range(64):
+            sim.access(addr)
+        # 4 lines x 16 bytes: 4 misses, 60 hits.
+        assert sim.misses == 4
+        assert sim.hits == 60
+
+    def test_reset(self):
+        sim = self._tiny()
+        sim.access(0)
+        sim.reset()
+        assert sim.hits == sim.misses == 0
+        assert sim.access(0) is False
+
+    def test_access_block_matches_scalar(self):
+        sim_a = self._tiny()
+        sim_b = self._tiny()
+        lines = np.array([0, 1, 0, 5, 9, 1])
+        hits = sim_a.access_block(lines)
+        scalar_hits = sum(sim_b.access(int(l) * 16) for l in lines)
+        assert hits == scalar_hits
+
+    def test_hit_rate_empty(self):
+        assert self._tiny().hit_rate == 0.0
+
+
+class TestQueryLocality:
+    def test_hit_rate_falls_with_batch(self):
+        """Paper Section III-C: locality degrades as tables grow."""
+        rates = [
+            simulate_query_hit_rate(128, 512, b, mu=8, max_rows=32)["hit_rate"]
+            for b in (1, 32, 128)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_tiling_improves_hit_rate_small_batch(self):
+        """LUT-stationary tiling keeps the resident set in L1."""
+        full = simulate_query_hit_rate(128, 1024, 1, mu=8, max_rows=32)
+        tiled = simulate_query_hit_rate(
+            128, 1024, 1, mu=8, tile_g=32, max_rows=32
+        )
+        assert tiled["hit_rate"] > full["hit_rate"]
+
+    def test_small_mu_fits_and_hits(self):
+        # mu=4: 16-entry tables; everything fits, hit rate is high.
+        r = simulate_query_hit_rate(128, 256, 1, mu=4, max_rows=32)
+        assert r["hit_rate"] > 0.8
+
+    def test_table_bytes_reported(self):
+        r = simulate_query_hit_rate(16, 64, 8, mu=6, max_rows=8)
+        assert r["table_bytes"] == (1 << 6) * 8 * 4
+
+    def test_consistent_with_cost_model_spill_band(self):
+        """The simulated degradation and the roofline spill_factor must
+        agree directionally on where the penalty starts."""
+        from repro.hw.cache import spill_factor
+        from repro.hw.machine import MACHINES
+
+        pc = MACHINES["pc"]
+        r_small = simulate_query_hit_rate(128, 512, 8, mu=8, max_rows=32)
+        r_large = simulate_query_hit_rate(128, 512, 256, mu=8, max_rows=32)
+        sim_penalty = r_large["hit_rate"] / max(r_small["hit_rate"], 1e-9)
+        model_penalty = spill_factor(pc, 8, 256) / spill_factor(pc, 8, 8)
+        assert sim_penalty < 1.0
+        assert model_penalty < 1.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            simulate_query_hit_rate(0, 64, 1)

@@ -1,0 +1,101 @@
+"""Property-based tests for the roofline cost model (hypothesis).
+
+The calibration constants are fitted, but the model's *structure* must
+obey physical invariants for any machine: time falls when hardware gets
+faster, rises when problems grow, and respects the roofline identity.
+"""
+
+import numpy as np
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.costmodel import (
+    estimate_biqgemm,
+    estimate_gemm,
+    estimate_int8_gemm,
+    estimate_xnor,
+)
+from repro.hw.machine import MACHINES
+
+_ENGINES = [
+    lambda mc, m, n, b: estimate_gemm(mc, m, n, b),
+    lambda mc, m, n, b: estimate_gemm(mc, m, n, b, engine="naive"),
+    lambda mc, m, n, b: estimate_biqgemm(mc, m, n, b, bits=2),
+    lambda mc, m, n, b: estimate_xnor(mc, m, n, b),
+    lambda mc, m, n, b: estimate_int8_gemm(mc, m, n, b),
+]
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=4096),
+    st.integers(min_value=1, max_value=4096),
+    st.integers(min_value=1, max_value=512),
+)
+machines = st.sampled_from(list(MACHINES.values()))
+engines = st.sampled_from(_ENGINES)
+
+
+@given(machine=machines, shape=shapes, engine=engines)
+@settings(max_examples=60, deadline=None)
+def test_roofline_identity(machine, shape, engine):
+    m, n, b = shape
+    est = engine(machine, m, n, b)
+    assert est.seconds == max(est.compute_seconds, est.memory_seconds) + (
+        est.overhead_seconds
+    )
+    assert est.seconds > 0
+    assert est.ops >= 0
+    assert est.bytes > 0
+
+
+@given(machine=machines, shape=shapes, engine=engines)
+@settings(max_examples=40, deadline=None)
+def test_monotone_in_batch(machine, shape, engine):
+    m, n, b = shape
+    t1 = engine(machine, m, n, b).seconds
+    t2 = engine(machine, m, n, 2 * b).seconds
+    assert t2 >= t1 - 1e-15
+
+
+@given(machine=machines, shape=shapes, engine=engines)
+@settings(max_examples=40, deadline=None)
+def test_faster_bandwidth_never_hurts(machine, shape, engine):
+    m, n, b = shape
+    faster = replace(machine, bandwidth=2.0 * machine.bandwidth)
+    t_slow = engine(machine, m, n, b).seconds
+    t_fast = engine(faster, m, n, b).seconds
+    assert t_fast <= t_slow + 1e-15
+
+
+@given(machine=machines, shape=shapes, engine=engines)
+@settings(max_examples=40, deadline=None)
+def test_faster_compute_never_hurts(machine, shape, engine):
+    m, n, b = shape
+    faster = replace(machine, flops_per_unit=2.0 * machine.flops_per_unit)
+    t_slow = engine(machine, m, n, b).seconds
+    t_fast = engine(faster, m, n, b).seconds
+    assert t_fast <= t_slow + 1e-15
+
+
+@given(
+    machine=machines,
+    shape=shapes,
+    bits=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_biqgemm_weight_traffic_scales_with_bits(machine, shape, bits):
+    m, n, b = shape
+    one = estimate_biqgemm(machine, m, n, b, bits=1)
+    multi = estimate_biqgemm(machine, m, n, b, bits=bits)
+    assert multi.detail["key_bytes"] == bits * one.detail["key_bytes"]
+    assert multi.detail["lookups"] == bits * one.detail["lookups"]
+
+
+@given(machine=machines, shape=shapes)
+@settings(max_examples=40, deadline=None)
+def test_threads_never_hurt_cpu(machine, shape):
+    m, n, b = shape
+    t1 = estimate_biqgemm(machine, m, n, b, threads=1).seconds
+    t4 = estimate_biqgemm(machine, m, n, b, threads=4).seconds
+    assert t4 <= t1 + 1e-15

@@ -1,0 +1,114 @@
+"""Unit tests for machine configurations (repro.hw.machine)."""
+
+import pytest
+
+from repro.hw.machine import MACHINES, CostTuning, MachineConfig
+
+
+class TestRegistry:
+    def test_three_paper_machines(self):
+        assert set(MACHINES) == {"mobile", "pc", "v100"}
+
+    def test_table3_mobile_values(self):
+        m = MACHINES["mobile"]
+        assert m.units == 4
+        assert m.simd_lanes == 4
+        assert m.l1d_bytes == 64 * 1024
+        assert m.bandwidth == pytest.approx(31.8e9)
+        assert m.flops_per_unit == pytest.approx(19.36e9)
+        assert not m.is_gpu
+
+    def test_table3_pc_values(self):
+        m = MACHINES["pc"]
+        assert m.units == 4
+        assert m.simd_lanes == 8
+        assert m.l1d_bytes == 32 * 1024
+        assert m.bandwidth == pytest.approx(35.76e9)
+        assert m.flops_per_unit == pytest.approx(57.6e9)
+
+    def test_table3_v100_values(self):
+        m = MACHINES["v100"]
+        assert m.units == 80
+        assert m.l1d_bytes == 128 * 1024
+        assert m.bandwidth == pytest.approx(900e9)
+        assert m.is_gpu
+        # Per-SM figure x 80 = published V100 FP32 peak (~14.5 TFLOPS).
+        assert m.flops_total == pytest.approx(14.55e12, rel=0.01)
+
+
+class TestDerivedQuantities:
+    def test_cycles_per_second_pc(self):
+        # 57.6 GFLOPS / (2 ops * 8 lanes) = 3.6 GHz.
+        assert MACHINES["pc"].cycles_per_second == pytest.approx(3.6e9)
+
+    def test_units_engaged_cpu_clamped(self):
+        pc = MACHINES["pc"]
+        assert pc.units_engaged(1) == 1
+        assert pc.units_engaged(3) == 3
+        assert pc.units_engaged(99) == 4
+
+    def test_units_engaged_gpu_always_full(self):
+        v = MACHINES["v100"]
+        assert v.units_engaged(1) == 80
+        assert v.units_engaged(7) == 80
+
+    def test_units_engaged_rejects_zero(self):
+        with pytest.raises(ValueError):
+            MACHINES["pc"].units_engaged(0)
+
+
+class TestValidation:
+    def _tuning(self):
+        return CostTuning(
+            gemm_eff_max=0.5,
+            gemm_b_half=2,
+            naive_eff_max=0.2,
+            naive_bw_fraction=0.5,
+            single_unit_bw_fraction=0.5,
+            gather_eta=0.5,
+            keys_per_cycle=1,
+            int_op_eff=0.5,
+            spill_exponent=0.5,
+        )
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                name="bad",
+                units=0,
+                simd_lanes=4,
+                l1d_bytes=1024,
+                dram_bytes=1 << 30,
+                bandwidth=1e9,
+                flops_per_unit=1e9,
+                is_gpu=False,
+                tuning=self._tuning(),
+            )
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                name="bad",
+                units=1,
+                simd_lanes=4,
+                l1d_bytes=1024,
+                dram_bytes=1 << 30,
+                bandwidth=0.0,
+                flops_per_unit=1e9,
+                is_gpu=False,
+                tuning=self._tuning(),
+            )
+
+    def test_rejects_missing_tuning(self):
+        with pytest.raises(ValueError, match="CostTuning"):
+            MachineConfig(
+                name="bad",
+                units=1,
+                simd_lanes=4,
+                l1d_bytes=1024,
+                dram_bytes=1 << 30,
+                bandwidth=1e9,
+                flops_per_unit=1e9,
+                is_gpu=False,
+                tuning=None,
+            )

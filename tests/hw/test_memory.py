@@ -1,0 +1,57 @@
+"""Unit tests for the Table II memory model (repro.hw.memory)."""
+
+import pytest
+
+from repro.bench.paper_data import TABLE2_PAPER_TOTALS
+from repro.hw.memory import MemoryUsage, memory_usage, table2_rows
+
+
+class TestMemoryUsage:
+    def test_fp32_512_square(self):
+        u = memory_usage(512, 512, 18, weight_bits=32, act_bits=32)
+        assert u.weights_mb == pytest.approx(1.048576)
+        assert u.inputs_mb == pytest.approx(0.036864)
+        assert u.outputs_mb == pytest.approx(0.036864)
+
+    def test_total(self):
+        u = MemoryUsage(weights_mb=1.0, inputs_mb=0.5, outputs_mb=0.25)
+        assert u.total_mb == 1.75
+
+    def test_fractional_bits(self):
+        u = memory_usage(512, 512, 18, weight_bits=3, act_bits=32)
+        assert u.weights_mb == pytest.approx(512 * 512 * 3 / 8 / 1e6)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            memory_usage(4, 4, 1, weight_bits=0, act_bits=32)
+        with pytest.raises(ValueError):
+            memory_usage(4, 4, 1, weight_bits=32, act_bits=128)
+
+
+class TestTable2Reproduction:
+    def test_all_rows_match_paper_totals(self):
+        """Exact reproduction of the paper's Table II totals (3 decimals)."""
+        for row in table2_rows():
+            paper = TABLE2_PAPER_TOTALS[(row["w_bits"], row["a_bits"])]
+            assert row["total_mb"] == pytest.approx(paper, abs=5e-4), row
+
+    def test_row_order_matches_paper(self):
+        rows = table2_rows()
+        assert [(r["w_bits"], r["a_bits"]) for r in rows] == [
+            (32, 32), (8, 8), (6, 6), (4, 4), (4, 32), (3, 32), (2, 32)
+        ]
+
+    def test_weight_quantization_dominates_savings(self):
+        """Table II's message: weight bits drive the footprint at small
+        batch; activation quantization saves comparatively little."""
+        rows = {(r["w_bits"], r["a_bits"]): r for r in table2_rows()}
+        # Quantizing weights 32->4 with float activations saves more
+        # than 0.8 MB...
+        saved_by_weights = (
+            rows[(32, 32)]["total_mb"] - rows[(4, 32)]["total_mb"]
+        )
+        # ...while additionally quantizing activations 32->4 saves only
+        # the small input term.
+        saved_by_acts = rows[(4, 32)]["total_mb"] - rows[(4, 4)]["total_mb"]
+        assert saved_by_weights > 0.8
+        assert saved_by_acts < 0.05

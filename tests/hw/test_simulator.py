@@ -1,0 +1,60 @@
+"""Unit tests for the op-counting simulator (repro.hw.simulator)."""
+
+import pytest
+
+from repro.core.tiling import TileConfig
+from repro.hw.simulator import OpCounts, simulate_biqgemm, simulate_gemm
+
+
+class TestSimulateBiqgemm:
+    def test_total_ops(self):
+        c = simulate_biqgemm(8, 16, 2, bits=2, mu=4)
+        assert c.total_ops == c.build_adds + c.lookups + c.scale_muls
+
+    def test_padding_groups(self):
+        # n=10, mu=4 -> 3 groups.
+        c = simulate_biqgemm(4, 10, 1, mu=4)
+        assert c.lookups == 4 * 3 * 1
+
+    def test_key_bytes_uint16_for_large_mu(self):
+        c8 = simulate_biqgemm(4, 32, 1, mu=8)
+        c12 = simulate_biqgemm(4, 36, 1, mu=12)
+        assert c8.key_bytes == 4 * 4 * 1  # 4 groups of 1-byte keys
+        assert c12.key_bytes == 4 * 3 * 2  # 3 groups of 2-byte keys
+
+    def test_tile_coverage_totals_invariant(self):
+        base = simulate_biqgemm(12, 40, 3, bits=2, mu=4)
+        tiled = simulate_biqgemm(
+            12, 40, 3, bits=2, mu=4, tiles=TileConfig(tile_m=5, tile_g=3)
+        )
+        assert base.lookups == tiled.lookups
+        assert base.build_adds == tiled.build_adds
+        assert base.tables_built == tiled.tables_built
+
+    def test_io_bytes(self):
+        c = simulate_biqgemm(8, 16, 2, mu=4)
+        assert c.input_bytes == 16 * 2 * 4
+        assert c.output_bytes == 8 * 2 * 4
+
+
+class TestSimulateGemm:
+    def test_ops_and_bytes(self):
+        c = simulate_gemm(8, 16, 2)
+        assert c.lookups == 2 * 8 * 16 * 2
+        assert c.key_bytes == 8 * 16 * 4
+        assert c.tables_built == 0
+
+    def test_quantized_container_bytes(self):
+        c = simulate_gemm(8, 16, 2, weight_bits=8)
+        assert c.key_bytes == 8 * 16  # one byte per weight
+
+    def test_rejects_bad_weight_bits(self):
+        with pytest.raises(ValueError):
+            simulate_gemm(4, 4, 1, weight_bits=0)
+
+
+class TestOpCountsDataclass:
+    def test_frozen(self):
+        c = simulate_gemm(2, 2, 1)
+        with pytest.raises(AttributeError):
+            c.lookups = 0

@@ -1,0 +1,81 @@
+"""Deployment-shaped integration: offline compile -> ship -> serve.
+
+Walks the full lifecycle the paper implies (footnote 3): quantize and
+compile offline, persist only the compiled artifact, reload in a fresh
+"process", and serve a model whose layers all run on the loaded engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import BiQGemm
+from repro.core.group import BiQGemmGroup
+from repro.core.serialize import load_engine, save_engine
+from repro.nn.conv import QuantConv2d, conv2d_reference
+from repro.nn.linear import QuantSpec
+from repro.quant.bcq import bcq_quantize
+
+
+class TestOfflineOnlineSplit:
+    def test_compile_save_load_serve(self, rng, tmp_path):
+        # Offline: float weights exist only here.
+        w = rng.standard_normal((64, 96))
+        engine = BiQGemm.from_float(w, bits=3, mu=8, method="alternating")
+        save_engine(engine, tmp_path / "layer.npz")
+        expected_weight = bcq_quantize(w, 3, method="alternating")
+
+        # Online: only the artifact is available.
+        served = load_engine(tmp_path / "layer.npz")
+        x = rng.standard_normal((96, 7))
+        assert np.allclose(
+            served.matmul(x), expected_weight.matmul_dense(x), atol=1e-8
+        )
+
+    def test_artifact_is_the_compressed_form(self, rng, tmp_path):
+        w = rng.standard_normal((256, 256))
+        engine = BiQGemm.from_float(w, bits=2, mu=8)
+        path = tmp_path / "layer.npz"
+        save_engine(engine, path)
+        # Compiled artifact beats fp32 by a wide margin (2-bit keys).
+        assert path.stat().st_size < 256 * 256 * 4 / 4
+
+    def test_loaded_engines_fuse_into_groups(self, rng, tmp_path):
+        # Q/K/V compiled separately, loaded, then fused.
+        ws = [rng.standard_normal((32, 48)) for _ in range(3)]
+        for i, w in enumerate(ws):
+            save_engine(
+                BiQGemm.from_float(w, bits=2, mu=4), tmp_path / f"p{i}.npz"
+            )
+        engines = [load_engine(tmp_path / f"p{i}.npz") for i in range(3)]
+        group = BiQGemmGroup(engines)
+        x = rng.standard_normal((48, 5))
+        outs = group.matmul_shared(x)
+        for out, engine in zip(outs, engines):
+            assert np.allclose(out, engine.matmul(x), atol=1e-10)
+
+
+class TestConvThroughTheStack:
+    def test_quant_conv_consistent_with_linear_engine(self, rng):
+        """A 1x1 convolution must equal the equivalent QuantLinear."""
+        from repro.nn.linear import QuantLinear
+
+        w4 = rng.standard_normal((6, 4, 1, 1))
+        spec = QuantSpec(bits=2, mu=4)
+        conv = QuantConv2d(w4, spec=spec)
+        lin = QuantLinear(w4[:, :, 0, 0], spec=spec)
+        x = rng.standard_normal((2, 4, 3, 3))
+        conv_out = conv(x)
+        # Same computation through the linear layer on flattened pixels.
+        pixels = x.transpose(0, 2, 3, 1).reshape(-1, 4)
+        lin_out = lin(pixels).reshape(2, 3, 3, 6).transpose(0, 3, 1, 2)
+        assert np.allclose(conv_out, lin_out, atol=1e-8)
+
+    def test_conv_stack_quantized_vs_float_bounded_error(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3)) / 5.0
+        layer = QuantConv2d(w, pad=1, spec=QuantSpec(bits=4, mu=8,
+                                                     method="alternating"))
+        exact = conv2d_reference(x, w, pad=1)
+        approx = layer(x)
+        rel = np.linalg.norm(exact - approx) / np.linalg.norm(exact)
+        assert rel < 0.2

@@ -1,0 +1,133 @@
+"""Cross-module integration tests.
+
+The contract every fast path must honour: for the same quantized weight,
+**all** engines (BiQGEMM in every configuration, container sGEMM, packed
+GEMM with unpack, dense BLAS on the dequantized matrix) produce the same
+numbers to float tolerance, end to end -- including inside full DNN
+layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import BiQGemm
+from repro.core.tiling import TileConfig
+from repro.gemm.packed import gemm_with_unpack
+from repro.gemm.sgemm import sgemm_container
+from repro.nn.linear import QuantLinear, QuantSpec
+from repro.quant.bcq import bcq_quantize
+from repro.quant.packing import pack_bits
+from tests.conftest import random_binary
+
+
+class TestAllEnginesAgree:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    @pytest.mark.parametrize("mu", [3, 8])
+    def test_quantized_matmul_equivalence(self, rng, bits, mu):
+        w = rng.standard_normal((33, 47))
+        x = rng.standard_normal((47, 5))
+        t = bcq_quantize(w, bits)
+        oracle = t.matmul_dense(x)
+
+        # BiQGEMM, every configuration.
+        engine = BiQGemm.from_bcq(t, mu=mu)
+        for builder in ("dp", "dp-nosym", "gemm"):
+            for impl in ("flat", "loop"):
+                out = engine.matmul(x, builder=builder, query_impl=impl)
+                assert np.allclose(out, oracle, atol=1e-8)
+        out_threaded = engine.matmul(
+            x, threads=3, tiles=TileConfig(tile_m=7, tile_g=2)
+        )
+        assert np.allclose(out_threaded, oracle, atol=1e-8)
+
+        # Container sGEMM.
+        assert np.allclose(sgemm_container(t.binary, x, t.alphas), oracle, atol=1e-8)
+
+        # Packed GEMM with unpack, plane by plane.
+        packed_out = np.zeros_like(oracle)
+        for i in range(bits):
+            packed = pack_bits(t.binary[i])
+            packed_out += t.alphas[i][:, None] * gemm_with_unpack(packed, x)
+        assert np.allclose(packed_out, oracle, atol=1e-8)
+
+        # Dense BLAS on the dequantized matrix.
+        assert np.allclose(t.dequantize() @ x, oracle, atol=1e-8)
+
+    def test_pure_binary_integer_exactness(self, rng):
+        # With alphas = 1 the product is integer-valued; BiQGEMM must be
+        # bit-exact, not merely close.
+        binary = random_binary(rng, (21, 64))
+        x_int = rng.integers(-3, 4, size=(64, 4)).astype(np.float64)
+        engine = BiQGemm.from_binary(binary, mu=8)
+        out = engine.matmul(x_int)
+        expected = binary.astype(np.float64) @ x_int
+        assert np.array_equal(out, expected)
+
+
+class TestQuantLinearInsideModels:
+    def test_encoder_biqgemm_equals_encoder_dense(self, rng):
+        """A whole Transformer encoder layer gives identical outputs on
+        the BiQGEMM backend and the dense backend (same quantization)."""
+        from repro.nn.transformer import TransformerConfig, TransformerEncoderLayer
+
+        cfg = TransformerConfig(dim=16, heads=4, ff_dim=32)
+        layer_biq = TransformerEncoderLayer(
+            cfg, np.random.default_rng(11), spec=QuantSpec(bits=2, mu=4)
+        )
+        layer_dense = TransformerEncoderLayer(
+            cfg,
+            np.random.default_rng(11),
+            spec=QuantSpec(bits=2, mu=4, backend="dense"),
+        )
+        x = rng.standard_normal((2, 6, 16))
+        assert np.allclose(layer_biq(x), layer_dense(x), atol=1e-6)
+
+    def test_lstm_biqgemm_equals_lstm_dense(self, rng):
+        from repro.nn.lstm import LSTMCell, LSTMLayer
+
+        w_ih = rng.standard_normal((32, 12)) * 0.4
+        w_hh = rng.standard_normal((32, 8)) * 0.4
+        cell_biq = LSTMCell(w_ih, w_hh, spec=QuantSpec(bits=3, mu=4))
+        cell_dense = LSTMCell(
+            w_ih, w_hh, spec=QuantSpec(bits=3, mu=4, backend="dense")
+        )
+        x = rng.standard_normal((2, 5, 12))
+        assert np.allclose(
+            LSTMLayer(cell_biq)(x), LSTMLayer(cell_dense)(x), atol=1e-6
+        )
+
+    def test_quantlinear_weight_bytes_realistic(self, rng):
+        # 3-bit BiQGEMM weights for a 512x512 layer: keys are
+        # 3 * 512 * 64 bytes, ~10x smaller than fp32.
+        w = rng.standard_normal((512, 512))
+        layer = QuantLinear(w, spec=QuantSpec(bits=3, mu=8))
+        fp32 = 512 * 512 * 4
+        assert layer.weight_nbytes < fp32 / 8
+
+
+class TestFailureInjection:
+    def test_nan_activations_propagate_not_crash(self, rng):
+        engine = BiQGemm.from_binary(random_binary(rng, (8, 16)), mu=4)
+        x = rng.standard_normal((16, 2))
+        x[3, 1] = np.nan
+        out = engine.matmul(x)
+        assert np.isnan(out[:, 1]).any()
+        assert np.isfinite(out[:, 0]).all()
+
+    def test_inf_activations(self, rng):
+        engine = BiQGemm.from_binary(random_binary(rng, (4, 8)), mu=4)
+        x = np.zeros((8, 1))
+        x[0, 0] = np.inf
+        out = engine.matmul(x)
+        assert not np.isfinite(out).all()
+
+    def test_huge_magnitude_no_overflow_float64(self, rng):
+        engine = BiQGemm.from_binary(random_binary(rng, (4, 8)), mu=4)
+        x = np.full((8, 1), 1e300)
+        out = engine.matmul(x)
+        assert np.isfinite(out).all() or np.isinf(out).any()  # no crash
+
+    def test_zero_input_gives_zero_output(self, rng):
+        engine = BiQGemm.from_binary(random_binary(rng, (2, 8, 16)), mu=8)
+        out = engine.matmul(np.zeros((16, 3)))
+        assert not out.any()

@@ -1,0 +1,84 @@
+"""Unit tests for multi-head attention (repro.nn.attention)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.linear import QuantSpec
+
+
+def make_mha(rng, dim=16, heads=4, spec=None):
+    ws = [rng.standard_normal((dim, dim)) / np.sqrt(dim) for _ in range(4)]
+    return MultiHeadAttention(*ws, heads=heads, spec=spec)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        mha = make_mha(rng)
+        x = rng.standard_normal((2, 5, 16))
+        assert mha(x).shape == (2, 5, 16)
+
+    def test_cross_attention_shape(self, rng):
+        mha = make_mha(rng)
+        q = rng.standard_normal((2, 3, 16))
+        kv = rng.standard_normal((2, 7, 16))
+        assert mha(q, kv).shape == (2, 3, 16)
+
+    def test_permutation_equivariance_self_attention(self, rng):
+        # Without positions, permuting the sequence permutes the output.
+        mha = make_mha(rng)
+        x = rng.standard_normal((1, 6, 16))
+        perm = rng.permutation(6)
+        out = mha(x)
+        out_perm = mha(x[:, perm, :])
+        assert np.allclose(out_perm, out[:, perm, :], atol=1e-10)
+
+    def test_causal_mask_blocks_future(self, rng):
+        # With a causal mask, output at position 0 must not depend on
+        # later positions.
+        mha = make_mha(rng)
+        x1 = rng.standard_normal((1, 5, 16))
+        x2 = x1.copy()
+        x2[0, 3:, :] = rng.standard_normal((2, 16))
+        mask = np.triu(np.ones((5, 5), dtype=bool), k=1)
+        o1 = mha(x1, mask=mask)
+        o2 = mha(x2, mask=mask)
+        assert np.allclose(o1[0, 0], o2[0, 0], atol=1e-10)
+        assert np.allclose(o1[0, 2], o2[0, 2], atol=1e-10)
+        assert not np.allclose(o1[0, 4], o2[0, 4])
+
+    def test_single_head_matches_multi_head_dims(self, rng):
+        mha = make_mha(rng, dim=8, heads=1)
+        x = rng.standard_normal((1, 4, 8))
+        assert mha(x).shape == (1, 4, 8)
+
+    def test_quantized_close_to_float(self, rng):
+        ws = [rng.standard_normal((16, 16)) / 4 for _ in range(4)]
+        float_mha = MultiHeadAttention(*ws, heads=4)
+        quant_mha = MultiHeadAttention(
+            *ws, heads=4, spec=QuantSpec(bits=4, mu=4, method="alternating")
+        )
+        x = rng.standard_normal((1, 5, 16))
+        yf, yq = float_mha(x), quant_mha(x)
+        rel = np.linalg.norm(yf - yq) / np.linalg.norm(yf)
+        assert rel < 0.35
+
+    def test_rejects_heads_not_dividing_dim(self, rng):
+        ws = [rng.standard_normal((10, 10)) for _ in range(4)]
+        with pytest.raises(ValueError, match="divide"):
+            MultiHeadAttention(*ws, heads=3)
+
+    def test_rejects_mismatched_projection(self, rng):
+        with pytest.raises(ValueError, match="wk"):
+            MultiHeadAttention(
+                rng.standard_normal((8, 8)),
+                rng.standard_normal((8, 4)),
+                rng.standard_normal((8, 8)),
+                rng.standard_normal((8, 8)),
+                heads=2,
+            )
+
+    def test_rejects_2d_input(self, rng):
+        mha = make_mha(rng)
+        with pytest.raises(ValueError, match="batch, seq"):
+            mha(rng.standard_normal((5, 16)))

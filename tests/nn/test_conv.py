@@ -1,0 +1,120 @@
+"""Unit tests for convolution lowering (repro.nn.conv)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import QuantConv2d, conv2d_gemm, conv2d_reference, im2col
+from repro.nn.linear import QuantSpec
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 10))
+        cols = im2col(x, 3, 3, stride=1, pad=0)
+        assert cols.shape == (3 * 9, 2 * 6 * 8)
+
+    def test_identity_kernel_1x1(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        cols = im2col(x, 1, 1)
+        assert np.allclose(cols, x.reshape(1, 2, 16).transpose(1, 0, 2).reshape(2, 16))
+
+    def test_padding_adds_zeros(self, rng):
+        x = rng.standard_normal((1, 1, 2, 2))
+        cols = im2col(x, 3, 3, pad=1)
+        # Center output pixel sees the full input; corners see zeros.
+        assert cols.shape == (9, 4)
+        assert (cols == 0).any()
+
+    def test_stride(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6))
+        cols = im2col(x, 2, 2, stride=2)
+        assert cols.shape == (4, 9)
+
+    def test_rejects_kernel_too_large(self, rng):
+        with pytest.raises(ValueError, match="does not fit"):
+            im2col(rng.standard_normal((1, 1, 2, 2)), 3, 3)
+
+    def test_rejects_3d(self, rng):
+        with pytest.raises(ValueError, match="NCHW"):
+            im2col(rng.standard_normal((1, 2, 2)), 1, 1)
+
+    def test_rejects_negative_pad(self, rng):
+        with pytest.raises(ValueError, match="pad"):
+            im2col(rng.standard_normal((1, 1, 4, 4)), 2, 2, pad=-1)
+
+
+class TestConvEquivalence:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (2, 1), (1, 2), (3, 0)])
+    def test_gemm_matches_reference(self, rng, stride, pad):
+        x = rng.standard_normal((2, 3, 9, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        ref = conv2d_reference(x, w, stride=stride, pad=pad)
+        gm = conv2d_gemm(x, w, stride=stride, pad=pad)
+        assert np.allclose(ref, gm, atol=1e-10)
+
+    def test_1x1_conv_is_matmul(self, rng):
+        x = rng.standard_normal((1, 4, 5, 5))
+        w = rng.standard_normal((6, 4, 1, 1))
+        out = conv2d_gemm(x, w)
+        manual = np.einsum("oi,nihw->nohw", w[:, :, 0, 0], x)
+        assert np.allclose(out, manual, atol=1e-10)
+
+    def test_rejects_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channel"):
+            conv2d_gemm(
+                rng.standard_normal((1, 3, 4, 4)),
+                rng.standard_normal((2, 4, 2, 2)),
+            )
+
+
+class TestQuantConv2d:
+    def test_matches_reference_on_dequantized(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((5, 3, 3, 3))
+        layer = QuantConv2d(w, stride=1, pad=1, spec=QuantSpec(bits=3, mu=4))
+        expected = conv2d_reference(x, layer.dequantized(), stride=1, pad=1)
+        assert np.allclose(layer(x), expected, atol=1e-8)
+
+    def test_bias(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        w = rng.standard_normal((3, 2, 2, 2))
+        bias = rng.standard_normal(3)
+        with_bias = QuantConv2d(w, bias, spec=QuantSpec(bits=2, mu=4))
+        without = QuantConv2d(w, spec=QuantSpec(bits=2, mu=4))
+        assert np.allclose(
+            with_bias(x), without(x) + bias[None, :, None, None], atol=1e-10
+        )
+
+    def test_more_bits_reduce_error(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8))
+        w = rng.standard_normal((8, 3, 3, 3))
+        exact = conv2d_reference(x, w)
+        errs = [
+            np.linalg.norm(
+                QuantConv2d(w, spec=QuantSpec(bits=b, mu=8))(x) - exact
+            )
+            for b in (1, 3)
+        ]
+        assert errs[1] < errs[0]
+
+    def test_weight_bytes_compressed(self, rng):
+        w = rng.standard_normal((32, 16, 3, 3))
+        layer = QuantConv2d(w, spec=QuantSpec(bits=2, mu=8))
+        assert layer.weight_nbytes < w.size * 4 / 8
+
+    def test_rejects_wrong_channels(self, rng):
+        layer = QuantConv2d(
+            rng.standard_normal((2, 3, 2, 2)), spec=QuantSpec(bits=1, mu=4)
+        )
+        with pytest.raises(ValueError, match="channels"):
+            layer(rng.standard_normal((1, 4, 4, 4)))
+
+    def test_rejects_3d_weight(self, rng):
+        with pytest.raises(ValueError, match="OIHW"):
+            QuantConv2d(rng.standard_normal((2, 3, 2)))
+
+    def test_rejects_bad_bias(self, rng):
+        with pytest.raises(ValueError, match="bias"):
+            QuantConv2d(
+                rng.standard_normal((2, 3, 2, 2)), np.zeros(3)
+            )

@@ -1,0 +1,58 @@
+"""Unit tests for embeddings (repro.nn.embedding)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.embedding import Embedding, positional_encoding
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        table = rng.standard_normal((10, 4))
+        emb = Embedding(table)
+        ids = np.array([[1, 3], [0, 9]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out[0, 1], table[3])
+
+    def test_properties(self, rng):
+        emb = Embedding(rng.standard_normal((7, 3)))
+        assert emb.vocab_size == 7
+        assert emb.dim == 3
+
+    def test_rejects_float_ids(self, rng):
+        emb = Embedding(rng.standard_normal((4, 2)))
+        with pytest.raises(TypeError, match="integers"):
+            emb(np.array([0.5]))
+
+    def test_rejects_out_of_range(self, rng):
+        emb = Embedding(rng.standard_normal((4, 2)))
+        with pytest.raises(ValueError, match="out of range"):
+            emb(np.array([4]))
+        with pytest.raises(ValueError, match="out of range"):
+            emb(np.array([-1]))
+
+
+class TestPositionalEncoding:
+    def test_shape(self):
+        assert positional_encoding(10, 8).shape == (10, 8)
+
+    def test_bounded(self):
+        pe = positional_encoding(50, 16)
+        assert (np.abs(pe) <= 1.0 + 1e-12).all()
+
+    def test_first_row(self):
+        pe = positional_encoding(4, 6)
+        # pos=0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        assert np.allclose(pe[0, 0::2], 0.0)
+        assert np.allclose(pe[0, 1::2], 1.0)
+
+    def test_distinct_positions(self):
+        pe = positional_encoding(32, 16)
+        assert len({tuple(np.round(r, 9)) for r in pe}) == 32
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            positional_encoding(0, 4)
+        with pytest.raises(ValueError):
+            positional_encoding(4, 0)

@@ -1,0 +1,126 @@
+"""Unit tests for Linear / QuantLinear (repro.nn.linear)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear, QuantLinear, QuantSpec, make_linear
+
+
+class TestLinear:
+    def test_matches_formula(self, rng):
+        w = rng.standard_normal((5, 8))
+        b = rng.standard_normal(5)
+        layer = Linear(w, b)
+        x = rng.standard_normal((3, 8))
+        assert np.allclose(layer(x), x @ w.T + b)
+
+    def test_leading_dims_preserved(self, rng):
+        layer = Linear(rng.standard_normal((4, 6)))
+        x = rng.standard_normal((2, 3, 6))
+        assert layer(x).shape == (2, 3, 4)
+
+    def test_rejects_bad_bias(self, rng):
+        with pytest.raises(ValueError, match="bias"):
+            Linear(rng.standard_normal((4, 6)), rng.standard_normal(3))
+
+    def test_shape_property(self, rng):
+        assert Linear(rng.standard_normal((4, 6))).shape == (4, 6)
+
+
+class TestQuantLinear:
+    @pytest.mark.parametrize(
+        "backend", ["biqgemm", "container", "unpack", "dense"]
+    )
+    def test_backends_match_dequantized_product(self, rng, backend):
+        w = rng.standard_normal((10, 16))
+        spec = QuantSpec(bits=3, mu=4, backend=backend)
+        layer = QuantLinear(w, spec=spec)
+        x = rng.standard_normal((5, 16))
+        expected = x @ layer.dequantized().T
+        assert np.allclose(layer(x), expected, atol=1e-8), backend
+
+    def test_backends_agree_with_each_other(self, rng):
+        w = rng.standard_normal((8, 12))
+        x = rng.standard_normal((4, 12))
+        outs = [
+            QuantLinear(w, spec=QuantSpec(bits=2, mu=4, backend=b))(x)
+            for b in ("biqgemm", "container", "unpack", "dense")
+        ]
+        for other in outs[1:]:
+            assert np.allclose(outs[0], other, atol=1e-8)
+
+    def test_bias_applied(self, rng):
+        w = rng.standard_normal((6, 9))
+        bias = rng.standard_normal(6)
+        layer = QuantLinear(w, bias, spec=QuantSpec(bits=2, mu=4))
+        x = rng.standard_normal((2, 9))
+        no_bias = QuantLinear(w, spec=QuantSpec(bits=2, mu=4))(x)
+        assert np.allclose(layer(x), no_bias + bias, atol=1e-10)
+
+    def test_xnor_backend_runs_and_approximates(self, rng):
+        w = rng.standard_normal((12, 32))
+        layer = QuantLinear(
+            w, spec=QuantSpec(bits=3, mu=8, backend="xnor", a_bits=4)
+        )
+        x = rng.standard_normal((6, 32))
+        out = layer(x)
+        ref = x @ layer.dequantized().T
+        # Activation quantization adds error; it must still correlate.
+        corr = np.corrcoef(out.ravel(), ref.ravel())[0, 1]
+        assert corr > 0.95
+
+    def test_3d_input(self, rng):
+        layer = QuantLinear(rng.standard_normal((4, 6)), spec=QuantSpec(bits=2, mu=2))
+        x = rng.standard_normal((2, 3, 6))
+        assert layer(x).shape == (2, 3, 4)
+
+    def test_more_bits_reduce_error(self, rng):
+        w = rng.standard_normal((16, 32))
+        x = rng.standard_normal((8, 32))
+        exact = x @ w.T
+        errs = [
+            np.linalg.norm(
+                QuantLinear(w, spec=QuantSpec(bits=b, mu=8))(x) - exact
+            )
+            for b in (1, 2, 4)
+        ]
+        assert errs[2] < errs[1] < errs[0]
+
+    def test_weight_nbytes_ordering(self, rng):
+        # Deployed bytes: biqgemm keys << container floats.
+        w = rng.standard_normal((32, 64))
+        biq = QuantLinear(w, spec=QuantSpec(bits=2, mu=8, backend="biqgemm"))
+        cont = QuantLinear(w, spec=QuantSpec(bits=2, mu=8, backend="container"))
+        assert biq.weight_nbytes < cont.weight_nbytes / 8
+
+    def test_rejects_unknown_backend(self, rng):
+        with pytest.raises(ValueError, match="backend"):
+            QuantLinear(
+                rng.standard_normal((4, 4)),
+                spec=QuantSpec(backend="magic"),
+            )
+
+    def test_rejects_feature_mismatch(self, rng):
+        layer = QuantLinear(rng.standard_normal((4, 6)), spec=QuantSpec(bits=1, mu=2))
+        with pytest.raises(ValueError, match="features"):
+            layer(rng.standard_normal((2, 7)))
+
+    def test_rejects_bad_bias(self, rng):
+        with pytest.raises(ValueError, match="bias"):
+            QuantLinear(
+                rng.standard_normal((4, 6)),
+                rng.standard_normal(5),
+                spec=QuantSpec(bits=1, mu=2),
+            )
+
+
+class TestMakeLinear:
+    def test_none_spec_gives_dense(self, rng):
+        layer = make_linear(rng.standard_normal((3, 4)))
+        assert isinstance(layer, Linear)
+
+    def test_spec_gives_quantized(self, rng):
+        layer = make_linear(
+            rng.standard_normal((3, 4)), spec=QuantSpec(bits=1, mu=2)
+        )
+        assert isinstance(layer, QuantLinear)

@@ -1,0 +1,128 @@
+"""Unit tests for LSTM layers (repro.nn.lstm)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import sigmoid, tanh
+from repro.nn.linear import QuantSpec
+from repro.nn.lstm import BiLSTMLayer, LSTMCell, LSTMLayer
+
+
+def make_cell(rng, input_dim=6, hidden=5, spec=None, scale=0.5):
+    w_ih = rng.standard_normal((4 * hidden, input_dim)) * scale
+    w_hh = rng.standard_normal((4 * hidden, hidden)) * scale
+    bias = rng.standard_normal(4 * hidden) * 0.1
+    return LSTMCell(w_ih, w_hh, bias, spec=spec)
+
+
+class TestLSTMCell:
+    def test_step_matches_manual_computation(self, rng):
+        cell = make_cell(rng)
+        x = rng.standard_normal((3, 6))
+        h0, c0 = cell.zero_state(3)
+        h1, c1 = cell(x, (h0, c0))
+        gates = x @ cell.ih.weight.T + h0 @ cell.hh.weight.T + cell.bias
+        i, f, g, o = (
+            sigmoid(gates[:, 0:5]),
+            sigmoid(gates[:, 5:10]),
+            tanh(gates[:, 10:15]),
+            sigmoid(gates[:, 15:20]),
+        )
+        c_ref = f * c0 + i * g
+        h_ref = o * tanh(c_ref)
+        assert np.allclose(c1, c_ref)
+        assert np.allclose(h1, h_ref)
+
+    def test_hidden_bounded_by_one(self, rng):
+        cell = make_cell(rng, scale=5.0)
+        h, c = cell.zero_state(2)
+        x = rng.standard_normal((2, 6)) * 10
+        for _ in range(5):
+            h, c = cell(x, (h, c))
+        assert (np.abs(h) <= 1.0).all()
+
+    def test_zero_state(self, rng):
+        cell = make_cell(rng)
+        h, c = cell.zero_state(4)
+        assert h.shape == (4, 5)
+        assert not h.any() and not c.any()
+
+    def test_rejects_bad_gate_rows(self, rng):
+        with pytest.raises(ValueError, match="4\\*hidden"):
+            LSTMCell(rng.standard_normal((10, 4)), rng.standard_normal((10, 2)))
+
+    def test_rejects_whh_mismatch(self, rng):
+        with pytest.raises(ValueError, match="w_hh"):
+            LSTMCell(rng.standard_normal((20, 4)), rng.standard_normal((20, 4)))
+
+    def test_rejects_bad_bias(self, rng):
+        with pytest.raises(ValueError, match="bias"):
+            LSTMCell(
+                rng.standard_normal((20, 4)),
+                rng.standard_normal((20, 5)),
+                np.zeros(7),
+            )
+
+    def test_quantized_cell_close_to_float(self, rng):
+        w_ih = rng.standard_normal((20, 6)) * 0.5
+        w_hh = rng.standard_normal((20, 5)) * 0.5
+        float_cell = LSTMCell(w_ih, w_hh)
+        quant_cell = LSTMCell(
+            w_ih, w_hh, spec=QuantSpec(bits=4, mu=4, method="alternating")
+        )
+        x = rng.standard_normal((2, 6))
+        state = float_cell.zero_state(2)
+        hf, _ = float_cell(x, state)
+        hq, _ = quant_cell(x, state)
+        assert np.linalg.norm(hf - hq) / max(np.linalg.norm(hf), 1e-9) < 0.3
+
+
+class TestLSTMLayer:
+    def test_sequence_shape(self, rng):
+        layer = LSTMLayer(make_cell(rng))
+        out = layer(rng.standard_normal((3, 7, 6)))
+        assert out.shape == (3, 7, 5)
+
+    def test_causality_forward(self, rng):
+        layer = LSTMLayer(make_cell(rng))
+        x1 = rng.standard_normal((1, 6, 6))
+        x2 = x1.copy()
+        x2[0, 4:, :] += 1.0
+        o1, o2 = layer(x1), layer(x2)
+        assert np.allclose(o1[0, :4], o2[0, :4])
+        assert not np.allclose(o1[0, 5], o2[0, 5])
+
+    def test_reverse_causality(self, rng):
+        layer = LSTMLayer(make_cell(rng), reverse=True)
+        x1 = rng.standard_normal((1, 6, 6))
+        x2 = x1.copy()
+        x2[0, :2, :] += 1.0
+        o1, o2 = layer(x1), layer(x2)
+        assert np.allclose(o1[0, 3:], o2[0, 3:])
+
+    def test_rejects_wrong_input_dim(self, rng):
+        layer = LSTMLayer(make_cell(rng))
+        with pytest.raises(ValueError, match="batch, time"):
+            layer(rng.standard_normal((1, 4, 7)))
+
+    def test_rejects_non_cell(self):
+        with pytest.raises(TypeError, match="LSTMCell"):
+            LSTMLayer(cell="not a cell")
+
+
+class TestBiLSTM:
+    def test_concatenated_width(self, rng):
+        bi = BiLSTMLayer(make_cell(rng), make_cell(rng))
+        out = bi(rng.standard_normal((2, 4, 6)))
+        assert out.shape == (2, 4, 10)
+
+    def test_forward_half_matches_unidirectional(self, rng):
+        fwd = make_cell(rng)
+        bwd = make_cell(rng)
+        bi = BiLSTMLayer(fwd, bwd)
+        x = rng.standard_normal((1, 5, 6))
+        assert np.allclose(bi(x)[..., :5], LSTMLayer(fwd)(x))
+
+    def test_rejects_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="input_dim"):
+            BiLSTMLayer(make_cell(rng, input_dim=6), make_cell(rng, input_dim=7))

@@ -1,0 +1,103 @@
+"""Unit tests for the model registry (repro.nn.model_zoo)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import QuantSpec
+from repro.nn.model_zoo import MODEL_SHAPES, build_encoder, model_gemm_shapes
+
+
+class TestModelShapes:
+    def test_paper_models_present(self):
+        assert {
+            "transformer-base",
+            "transformer-big",
+            "bert-large",
+            "albert-xxlarge",
+            "las-asr",
+        } <= set(MODEL_SHAPES)
+
+    def test_transformer_base_dims(self):
+        s = MODEL_SHAPES["transformer-base"]
+        assert s.attention_dim == 512
+        assert s.ff_dim == 2048
+        assert s.layers == 6
+
+    def test_transformer_big_dims(self):
+        s = MODEL_SHAPES["transformer-big"]
+        assert s.attention_dim == 1024
+        assert s.layers == 6
+
+    def test_bert_large_dims(self):
+        s = MODEL_SHAPES["bert-large"]
+        assert s.attention_dim == 1024
+        assert s.layers == 24
+
+    def test_albert_biggest_matrix(self):
+        # Paper: "the biggest weight matrix size in xx-large model of
+        # ALBERT is (4K x 16K)".
+        s = MODEL_SHAPES["albert-xxlarge"]
+        assert ("ffn-biggest", 4096, 16384) in s.extra_gemms
+
+    def test_las_lstm_shapes(self):
+        # Paper: six encoder layers with 2.5K x 5K, decoders 1.2K x 1.2K.
+        s = MODEL_SHAPES["las-asr"]
+        names = dict((n, (m, k)) for n, m, k in s.extra_gemms)
+        assert names["encoder-lstm-gates"] == (2560, 5120)
+        assert names["decoder-lstm-gates"] == (1280, 1280)
+
+
+class TestModelGemmShapes:
+    def test_transformer_base_count(self):
+        # 6 layers x (4 attention + 2 ff) = 36 GEMMs.
+        shapes = model_gemm_shapes("transformer-base")
+        assert len(shapes) == 36
+
+    def test_attention_shapes_square(self):
+        shapes = model_gemm_shapes("transformer-base")
+        attn = [s for s in shapes if ".attn." in s[0]]
+        assert all(m == n == 512 for _, m, n in attn)
+
+    def test_ff_shapes(self):
+        shapes = dict(
+            (name, (m, n)) for name, m, n in model_gemm_shapes("transformer-base")
+        )
+        assert shapes["L0.ff1"] == (2048, 512)
+        assert shapes["L0.ff2"] == (512, 2048)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            model_gemm_shapes("gpt-17")
+
+
+class TestBuildEncoder:
+    def test_scaled_build_runs(self, rng):
+        enc = build_encoder("transformer-base", scale=8, layers=1)
+        assert enc.config.dim == 64
+        x = rng.standard_normal((1, 4, 64))
+        assert enc(x).shape == (1, 4, 64)
+
+    def test_quantized_build(self, rng):
+        enc = build_encoder(
+            "transformer-base",
+            scale=16,
+            layers=1,
+            spec=QuantSpec(bits=2, mu=4),
+        )
+        x = rng.standard_normal((1, 3, 32))
+        assert np.isfinite(enc(x)).all()
+
+    def test_heads_divide_dim(self):
+        for key in MODEL_SHAPES:
+            enc = build_encoder(key, scale=16, layers=1)
+            assert enc.config.dim % enc.config.heads == 0
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_encoder("nope")
+
+    def test_seed_reproducible(self, rng):
+        e1 = build_encoder("transformer-base", scale=16, layers=1, seed=3)
+        e2 = build_encoder("transformer-base", scale=16, layers=1, seed=3)
+        x = rng.standard_normal((1, 2, 32))
+        assert np.allclose(e1(x), e2(x))

@@ -1,0 +1,100 @@
+"""Unit tests for Transformer layers (repro.nn.transformer)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import QuantSpec
+from repro.nn.transformer import (
+    TransformerConfig,
+    TransformerDecoderLayer,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+
+
+CFG = TransformerConfig(dim=16, heads=4, ff_dim=32, layers=2)
+
+
+class TestConfig:
+    def test_validates_heads(self):
+        with pytest.raises(ValueError, match="divide"):
+            TransformerConfig(dim=10, heads=3, ff_dim=20)
+
+    def test_validates_positive(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(dim=0, heads=1, ff_dim=4)
+
+
+class TestEncoderLayer:
+    def test_shape_preserved(self, rng):
+        layer = TransformerEncoderLayer(CFG, rng)
+        x = rng.standard_normal((2, 6, 16))
+        assert layer(x).shape == (2, 6, 16)
+
+    def test_output_is_layer_normed(self, rng):
+        layer = TransformerEncoderLayer(CFG, rng)
+        out = layer(rng.standard_normal((1, 4, 16)))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+
+    def test_deterministic_given_rng_seed(self, rng):
+        l1 = TransformerEncoderLayer(CFG, np.random.default_rng(5))
+        l2 = TransformerEncoderLayer(CFG, np.random.default_rng(5))
+        x = rng.standard_normal((1, 3, 16))
+        assert np.allclose(l1(x), l2(x))
+
+    def test_quantized_output_close_to_float(self, rng):
+        seed_rng = np.random.default_rng(7)
+        float_layer = TransformerEncoderLayer(CFG, seed_rng)
+        seed_rng = np.random.default_rng(7)
+        quant_layer = TransformerEncoderLayer(
+            CFG, seed_rng, spec=QuantSpec(bits=4, mu=4, method="alternating")
+        )
+        x = rng.standard_normal((1, 5, 16))
+        yf, yq = float_layer(x), quant_layer(x)
+        rel = np.linalg.norm(yf - yq) / np.linalg.norm(yf)
+        assert rel < 0.5
+
+
+class TestDecoderLayer:
+    def test_shape(self, rng):
+        layer = TransformerDecoderLayer(CFG, rng)
+        x = rng.standard_normal((2, 4, 16))
+        memory = rng.standard_normal((2, 7, 16))
+        assert layer(x, memory).shape == (2, 4, 16)
+
+    def test_default_mask_is_causal(self, rng):
+        layer = TransformerDecoderLayer(CFG, np.random.default_rng(3))
+        memory = rng.standard_normal((1, 5, 16))
+        x1 = rng.standard_normal((1, 4, 16))
+        x2 = x1.copy()
+        x2[0, -1, :] = rng.standard_normal(16)
+        o1 = layer(x1, memory)
+        o2 = layer(x2, memory)
+        # Positions before the changed one are unaffected.
+        assert np.allclose(o1[0, 0], o2[0, 0], atol=1e-10)
+
+    def test_memory_affects_output(self, rng):
+        layer = TransformerDecoderLayer(CFG, np.random.default_rng(3))
+        x = rng.standard_normal((1, 4, 16))
+        m1 = rng.standard_normal((1, 5, 16))
+        m2 = rng.standard_normal((1, 5, 16))
+        assert not np.allclose(layer(x, m1), layer(x, m2))
+
+
+class TestEncoderStack:
+    def test_layer_count(self, rng):
+        enc = TransformerEncoder(CFG, rng)
+        assert len(enc.layers) == 2
+
+    def test_forward_shape(self, rng):
+        enc = TransformerEncoder(CFG, rng)
+        x = rng.standard_normal((3, 5, 16))
+        assert enc(x).shape == (3, 5, 16)
+
+    def test_quantized_stack_runs_on_biqgemm(self, rng):
+        enc = TransformerEncoder(
+            CFG, np.random.default_rng(1), spec=QuantSpec(bits=2, mu=4)
+        )
+        x = rng.standard_normal((1, 4, 16))
+        out = enc(x)
+        assert np.isfinite(out).all()

@@ -1,0 +1,97 @@
+"""Unit tests for alternating multi-bit BCQ (repro.quant.alternating)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.alternating import alternating_bcq, _sign_patterns
+from repro.quant.greedy import greedy_bcq
+
+
+def sq_error(w, alphas, bs):
+    recon = np.einsum("im,imn->mn", alphas, bs.astype(np.float64))
+    return ((w - recon) ** 2).sum()
+
+
+class TestSignPatterns:
+    def test_counts_and_values(self):
+        p = _sign_patterns(3)
+        assert p.shape == (8, 3)
+        assert set(np.unique(p)) == {-1.0, 1.0}
+        # Row 0 is all -1, last row all +1, MSB-first ordering.
+        assert p[0].tolist() == [-1, -1, -1]
+        assert p[-1].tolist() == [1, 1, 1]
+        assert p[4].tolist() == [1, -1, -1]
+
+
+class TestAlternatingBCQ:
+    def test_never_worse_than_greedy(self, rng):
+        w = rng.standard_normal((8, 30))
+        for bits in (1, 2, 3, 4):
+            ag, bg = greedy_bcq(w, bits)
+            aa, ba = alternating_bcq(w, bits)
+            assert sq_error(w, aa, ba) <= sq_error(w, ag, bg) + 1e-9
+
+    def test_error_monotone_in_bits(self, rng):
+        w = rng.standard_normal((5, 25))
+        errs = [
+            sq_error(w, *alternating_bcq(w, bits)) for bits in (1, 2, 3, 4)
+        ]
+        for lo, hi in zip(errs[1:], errs[:-1]):
+            assert lo <= hi + 1e-9
+
+    def test_shapes(self, rng):
+        w = rng.standard_normal((4, 10))
+        alphas, bs = alternating_bcq(w, 3)
+        assert alphas.shape == (3, 4)
+        assert bs.shape == (3, 4, 10)
+        assert bs.dtype == np.int8
+
+    def test_scales_are_least_squares_optimal(self, rng):
+        # After convergence, refitting scales must not reduce the error.
+        w = rng.standard_normal((3, 14))
+        alphas, bs = alternating_bcq(w, 2)
+        base = sq_error(w, alphas, bs)
+        # Perturbing scales should not help.
+        for delta in (0.01, -0.01):
+            perturbed = alphas + delta
+            assert sq_error(w, perturbed, bs) >= base - 1e-12
+
+    def test_binary_patterns_elementwise_optimal(self, rng):
+        # Given final scales, no single element can improve by flipping
+        # to a different sign pattern.
+        w = rng.standard_normal((2, 6))
+        alphas, bs = alternating_bcq(w, 2)
+        patterns = _sign_patterns(2)
+        for r in range(2):
+            cand = patterns @ alphas[:, r]  # (4,) candidate values
+            recon = np.einsum("i,in->n", alphas[:, r], bs[:, r, :])
+            for j in range(6):
+                best = np.abs(w[r, j] - cand).min()
+                assert abs(w[r, j] - recon[j]) <= best + 1e-9
+
+    def test_axis_none(self, rng):
+        w = rng.standard_normal((3, 5))
+        alphas, bs = alternating_bcq(w, 2, axis=None)
+        assert alphas.shape == (2,)
+        assert bs.shape == (2, 3, 5)
+
+    def test_exact_two_level_signal(self, rng):
+        # w entries drawn from {-3, -1, +1, +3} = a1*b1 + a2*b2 with
+        # a1=2, a2=1: representable exactly with 2 bits.
+        w = rng.choice([-3.0, -1.0, 1.0, 3.0], size=(4, 16))
+        alphas, bs = alternating_bcq(w, 2)
+        assert sq_error(w, alphas, bs) < 1e-18
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            alternating_bcq(np.zeros((0, 2)), 2)
+
+    def test_rejects_too_many_bits(self, rng):
+        with pytest.raises(ValueError, match="bits"):
+            alternating_bcq(rng.standard_normal((2, 4)), 9)
+
+    def test_iterations_one_still_valid(self, rng):
+        w = rng.standard_normal((3, 9))
+        alphas, bs = alternating_bcq(w, 2, iterations=1)
+        assert np.isfinite(alphas).all()
+        assert set(np.unique(bs)).issubset({-1, 1})

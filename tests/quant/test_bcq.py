@@ -1,0 +1,81 @@
+"""Unit tests for the BCQ front-end (repro.quant.bcq)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.bcq import BCQTensor, bcq_quantize
+
+
+class TestBCQTensor:
+    def test_dequantize_matches_einsum(self, rng):
+        w = rng.standard_normal((5, 8))
+        t = bcq_quantize(w, 2)
+        expected = np.einsum("im,imn->mn", t.alphas, t.binary.astype(float))
+        assert np.allclose(t.dequantize(), expected)
+
+    def test_matmul_dense_matches_dequantized_product(self, rng):
+        w = rng.standard_normal((6, 10))
+        x = rng.standard_normal((10, 3))
+        t = bcq_quantize(w, 3)
+        assert np.allclose(t.matmul_dense(x), t.dequantize() @ x)
+
+    def test_matmul_dense_vector(self, rng):
+        w = rng.standard_normal((4, 7))
+        x = rng.standard_normal(7)
+        t = bcq_quantize(w, 2)
+        out = t.matmul_dense(x)
+        assert out.shape == (4, 1)
+
+    def test_properties(self, rng):
+        t = bcq_quantize(rng.standard_normal((5, 8)), 3)
+        assert t.bits == 3
+        assert t.shape == (5, 8)
+
+    def test_validates_alpha_shape(self, rng):
+        with pytest.raises(ValueError, match="alphas"):
+            BCQTensor(
+                alphas=np.ones((2, 3)),
+                binary=np.ones((2, 4, 5), dtype=np.int8),
+            )
+
+    def test_validates_binary_values(self):
+        bad = np.zeros((1, 2, 2), dtype=np.int8)
+        with pytest.raises(ValueError, match="-1/\\+1"):
+            BCQTensor(alphas=np.ones((1, 2)), binary=bad)
+
+    def test_validates_binary_ndim(self):
+        with pytest.raises(ValueError, match="bits, m, n"):
+            BCQTensor(alphas=np.ones((1, 2)), binary=np.ones((2, 2), dtype=np.int8))
+
+
+class TestBCQQuantize:
+    def test_greedy_and_alternating_methods(self, rng):
+        w = rng.standard_normal((6, 12))
+        tg = bcq_quantize(w, 2, method="greedy")
+        ta = bcq_quantize(w, 2, method="alternating")
+        err_g = ((w - tg.dequantize()) ** 2).sum()
+        err_a = ((w - ta.dequantize()) ** 2).sum()
+        assert err_a <= err_g + 1e-9
+
+    def test_rejects_unknown_method(self, rng):
+        with pytest.raises(ValueError, match="method"):
+            bcq_quantize(rng.standard_normal((2, 2)), 1, method="magic")
+
+    def test_rejects_1d_input(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            bcq_quantize(rng.standard_normal(8), 1)
+
+    def test_rejects_bits_out_of_range(self, rng):
+        w = rng.standard_normal((2, 4))
+        with pytest.raises(ValueError, match="bits"):
+            bcq_quantize(w, 0)
+        with pytest.raises(ValueError, match="bits"):
+            bcq_quantize(w, 9)
+
+    def test_error_decreases_with_bits(self, rng):
+        w = rng.standard_normal((8, 32))
+        errs = [
+            ((w - bcq_quantize(w, bits).dequantize()) ** 2).sum()
+            for bits in (1, 2, 3, 4)
+        ]
+        assert errs == sorted(errs, reverse=True)

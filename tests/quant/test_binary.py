@@ -1,0 +1,65 @@
+"""Unit tests for 1-bit quantization (repro.quant.binary)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.binary import quantize_binary
+
+
+class TestQuantizeBinary:
+    def test_signs_match_input(self, rng):
+        w = rng.standard_normal((6, 9))
+        _, b = quantize_binary(w)
+        assert np.array_equal(b[w > 0], np.ones((w > 0).sum(), dtype=np.int8))
+        assert np.array_equal(b[w < 0], -np.ones((w < 0).sum(), dtype=np.int8))
+
+    def test_alpha_is_mean_abs_per_row(self, rng):
+        w = rng.standard_normal((4, 11))
+        alpha, _ = quantize_binary(w, axis=-1)
+        assert np.allclose(alpha, np.abs(w).mean(axis=1))
+
+    def test_alpha_global_with_axis_none(self, rng):
+        w = rng.standard_normal((4, 11))
+        alpha, _ = quantize_binary(w, axis=None)
+        assert np.allclose(alpha, np.abs(w).mean())
+
+    def test_zero_maps_to_plus_one(self):
+        _, b = quantize_binary(np.array([0.0, -1.0, 2.0]))
+        assert b.tolist() == [1, -1, 1]
+
+    def test_optimality_against_grid(self, rng):
+        # For 1-bit, (sign, mean|w|) minimizes ||w - a*b|| over all
+        # binary b and real a; verify against brute force on a tiny vector.
+        w = rng.standard_normal(6)
+        alpha, b = quantize_binary(w, axis=None)
+        best = ((w - alpha * b) ** 2).sum()
+        for code in range(1 << 6):
+            cand_b = np.array(
+                [1 if (code >> i) & 1 else -1 for i in range(6)], dtype=float
+            )
+            # Optimal alpha for this b is <w, b>/p.
+            a = float(w @ cand_b) / 6
+            err = ((w - a * cand_b) ** 2).sum()
+            assert best <= err + 1e-12
+
+    def test_reconstruction_error_below_signal(self, rng):
+        w = rng.standard_normal((8, 16))
+        alpha, b = quantize_binary(w)
+        recon = alpha[:, None] * b
+        assert ((w - recon) ** 2).sum() < (w**2).sum()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantize_binary(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            quantize_binary(np.array([1.0, np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or Inf"):
+            quantize_binary(np.array([1.0, np.inf]))
+
+    def test_b_dtype_int8(self, rng):
+        _, b = quantize_binary(rng.standard_normal(5))
+        assert b.dtype == np.int8

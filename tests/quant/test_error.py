@@ -1,0 +1,94 @@
+"""Unit tests for quantization error metrics (repro.quant.error)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.error import (
+    cosine_similarity,
+    mse,
+    relative_frobenius_error,
+    rmse,
+    sqnr_db,
+)
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self, rng):
+        a = rng.standard_normal((4, 4))
+        assert mse(a, a) == 0.0
+
+    def test_mse_known_value(self):
+        assert mse(np.zeros(4), np.ones(4)) == 1.0
+
+    def test_rmse_is_sqrt_mse(self, rng):
+        a = rng.standard_normal(10)
+        b = rng.standard_normal(10)
+        assert np.isclose(rmse(a, b), np.sqrt(mse(a, b)))
+
+    def test_sqnr_inf_for_exact(self, rng):
+        a = rng.standard_normal(8)
+        assert sqnr_db(a, a) == float("inf")
+
+    def test_sqnr_zero_db_when_noise_equals_signal(self):
+        a = np.ones(4)
+        assert np.isclose(sqnr_db(a, np.zeros(4)), 0.0)
+
+    def test_sqnr_increases_with_better_approx(self, rng):
+        a = rng.standard_normal(100)
+        coarse = a + 0.1 * rng.standard_normal(100)
+        fine = a + 0.01 * rng.standard_normal(100)
+        assert sqnr_db(a, fine) > sqnr_db(a, coarse)
+
+    def test_cosine_one_for_positive_scaling(self, rng):
+        a = rng.standard_normal(16)
+        assert np.isclose(cosine_similarity(a, 3.0 * a), 1.0)
+
+    def test_cosine_minus_one_for_negation(self, rng):
+        a = rng.standard_normal(16)
+        assert np.isclose(cosine_similarity(a, -a), -1.0)
+
+    def test_cosine_zero_vectors(self):
+        assert cosine_similarity(np.zeros(3), np.zeros(3)) == 1.0
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_relative_frobenius(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert relative_frobenius_error(a, a) == 0.0
+        assert np.isclose(relative_frobenius_error(a, np.zeros_like(a)), 1.0)
+
+    def test_relative_frobenius_zero_reference(self):
+        assert relative_frobenius_error(np.zeros(3), np.zeros(3)) == 0.0
+        assert relative_frobenius_error(np.zeros(3), np.ones(3)) == float("inf")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            sqnr_db(np.zeros(0), np.zeros(0))
+
+
+class TestQuantizationOrdering:
+    """Metrics must rank quantizers the way Table I expects."""
+
+    def test_bcq_sqnr_improves_with_bits(self, rng):
+        from repro.quant.bcq import bcq_quantize
+
+        w = rng.standard_normal((32, 64))
+        sqnrs = [
+            sqnr_db(w, bcq_quantize(w, bits).dequantize())
+            for bits in (1, 2, 3, 4)
+        ]
+        assert sqnrs == sorted(sqnrs)
+
+    def test_alternating_sqnr_at_least_greedy(self, rng):
+        from repro.quant.bcq import bcq_quantize
+
+        w = rng.standard_normal((16, 48))
+        for bits in (2, 3):
+            g = sqnr_db(w, bcq_quantize(w, bits, method="greedy").dequantize())
+            a = sqnr_db(
+                w, bcq_quantize(w, bits, method="alternating").dequantize()
+            )
+            assert a >= g - 1e-9

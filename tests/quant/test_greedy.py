@@ -1,0 +1,79 @@
+"""Unit tests for greedy multi-bit BCQ (repro.quant.greedy)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.greedy import greedy_bcq
+
+
+def reconstruction(alphas, bs):
+    """Reconstruct for axis=-1 2-D case used throughout."""
+    return np.einsum("im,imn->mn", alphas, bs.astype(np.float64))
+
+
+class TestGreedyBCQ:
+    def test_shapes(self, rng):
+        w = rng.standard_normal((5, 12))
+        alphas, bs = greedy_bcq(w, 3)
+        assert alphas.shape == (3, 5)
+        assert bs.shape == (3, 5, 12)
+        assert bs.dtype == np.int8
+
+    def test_one_bit_matches_binary(self, rng):
+        from repro.quant.binary import quantize_binary
+
+        w = rng.standard_normal((4, 9))
+        a1, b1 = greedy_bcq(w, 1)
+        a_ref, b_ref = quantize_binary(w)
+        assert np.allclose(a1[0], a_ref)
+        assert np.array_equal(b1[0], b_ref)
+
+    def test_residual_norm_monotone_in_bits(self, rng):
+        w = rng.standard_normal((6, 20))
+        errors = []
+        for bits in range(1, 6):
+            alphas, bs = greedy_bcq(w, bits)
+            errors.append(((w - reconstruction(alphas, bs)) ** 2).sum())
+        for lo, hi in zip(errors[1:], errors[:-1]):
+            assert lo <= hi + 1e-12
+
+    def test_scales_non_negative_and_decreasing(self, rng):
+        # Greedy peels mean|residual| which shrinks monotonically.
+        w = rng.standard_normal((3, 50))
+        alphas, _ = greedy_bcq(w, 4)
+        assert (alphas >= 0).all()
+        assert (np.diff(alphas, axis=0) <= 1e-12).all()
+
+    def test_exact_for_binary_scaled_input(self, rng):
+        # w = 2.5 * b is exactly representable with 1 bit.
+        b = rng.choice([-1.0, 1.0], size=(3, 8))
+        w = 2.5 * b
+        alphas, bs = greedy_bcq(w, 1)
+        assert np.allclose(reconstruction(alphas, bs), w)
+
+    def test_axis_none_single_scale(self, rng):
+        w = rng.standard_normal((4, 6))
+        alphas, bs = greedy_bcq(w, 2, axis=None)
+        assert alphas.shape == (2,)
+        assert bs.shape == (2, 4, 6)
+
+    def test_rejects_zero_bits(self, rng):
+        with pytest.raises(ValueError, match="bits"):
+            greedy_bcq(rng.standard_normal((2, 2)), 0)
+
+    def test_rejects_non_int_bits(self, rng):
+        with pytest.raises(TypeError, match="bits"):
+            greedy_bcq(rng.standard_normal((2, 2)), 1.5)
+
+    def test_deterministic(self, rng):
+        w = rng.standard_normal((4, 7))
+        a1, b1 = greedy_bcq(w, 3)
+        a2, b2 = greedy_bcq(w, 3)
+        assert np.array_equal(a1, a2)
+        assert np.array_equal(b1, b2)
+
+    def test_vector_input(self, rng):
+        w = rng.standard_normal(15)
+        alphas, bs = greedy_bcq(w, 2, axis=None)
+        assert alphas.shape == (2,)
+        assert bs.shape == (2, 15)

@@ -1,0 +1,129 @@
+"""Unit tests for repro.quant.packing."""
+
+import numpy as np
+import pytest
+
+from repro.quant.packing import (
+    PackedBits,
+    pack_bits,
+    unpack_bits,
+    unpack_word_reference,
+)
+from tests.conftest import random_binary
+
+
+class TestPackBits:
+    def test_round_trip_exact_multiple(self, rng):
+        b = random_binary(rng, (3, 64))
+        packed = pack_bits(b, container_bits=32)
+        assert packed.words.shape == (3, 2)
+        assert np.array_equal(unpack_bits(packed), b)
+
+    @pytest.mark.parametrize("container_bits", [8, 16, 32, 64])
+    @pytest.mark.parametrize("bit_order", ["msb", "lsb"])
+    def test_round_trip_all_containers_orders(self, rng, container_bits, bit_order):
+        b = random_binary(rng, (5, 77))
+        packed = pack_bits(b, container_bits=container_bits, bit_order=bit_order)
+        assert np.array_equal(unpack_bits(packed), b)
+
+    def test_round_trip_1d(self, rng):
+        b = random_binary(rng, (13,))
+        packed = pack_bits(b)
+        assert np.array_equal(unpack_bits(packed), b)
+
+    def test_round_trip_3d(self, rng):
+        b = random_binary(rng, (2, 3, 45))
+        packed = pack_bits(b, container_bits=16)
+        assert np.array_equal(unpack_bits(packed), b)
+
+    def test_msb_first_known_word(self):
+        # +1 -1 -1 ... -> bit pattern 100...0 = 2^(w-1) for msb order.
+        b = -np.ones((1, 8), dtype=np.int8)
+        b[0, 0] = 1
+        packed = pack_bits(b, container_bits=8, bit_order="msb")
+        assert packed.words[0, 0] == 0x80
+
+    def test_lsb_first_known_word(self):
+        b = -np.ones((1, 8), dtype=np.int8)
+        b[0, 0] = 1
+        packed = pack_bits(b, container_bits=8, bit_order="lsb")
+        assert packed.words[0, 0] == 0x01
+
+    def test_all_plus_ones(self):
+        b = np.ones((1, 32), dtype=np.int8)
+        packed = pack_bits(b, container_bits=32)
+        assert packed.words[0, 0] == 0xFFFFFFFF
+
+    def test_all_minus_ones(self):
+        b = -np.ones((1, 32), dtype=np.int8)
+        packed = pack_bits(b, container_bits=32)
+        assert packed.words[0, 0] == 0
+
+    def test_padding_bits_are_zero(self):
+        b = np.ones((1, 3), dtype=np.int8)  # 3 bits in an 8-bit container
+        packed = pack_bits(b, container_bits=8, bit_order="msb")
+        # 111 then five pad zeros -> 11100000.
+        assert packed.words[0, 0] == 0b11100000
+
+    def test_nbytes_and_shape(self, rng):
+        b = random_binary(rng, (4, 40))
+        packed = pack_bits(b, container_bits=32)
+        assert packed.nbytes == 4 * 2 * 4  # 2 words per row, 4 bytes each
+        assert packed.shape == (4, 40)
+
+    def test_dtype_matches_container(self, rng):
+        b = random_binary(rng, (2, 9))
+        assert pack_bits(b, container_bits=8).words.dtype == np.uint8
+        assert pack_bits(b, container_bits=64).words.dtype == np.uint64
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="-1/\\+1"):
+            pack_bits(np.array([[0, 1, -1]]))
+
+    def test_rejects_bad_container(self, rng):
+        b = random_binary(rng, (2, 8))
+        with pytest.raises(ValueError, match="container_bits"):
+            pack_bits(b, container_bits=12)
+
+    def test_rejects_bad_bit_order(self, rng):
+        b = random_binary(rng, (2, 8))
+        with pytest.raises(ValueError, match="bit_order"):
+            pack_bits(b, bit_order="little")
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError, match="dimension"):
+            pack_bits(np.int8(1))
+
+
+class TestUnpackBits:
+    def test_rejects_non_packedbits(self):
+        with pytest.raises(TypeError, match="PackedBits"):
+            unpack_bits(np.zeros((2, 2), dtype=np.uint32))
+
+    def test_output_dtype_int8(self, rng):
+        b = random_binary(rng, (2, 10))
+        assert unpack_bits(pack_bits(b)).dtype == np.int8
+
+
+class TestUnpackWordReference:
+    def test_matches_vectorized_lsb(self, rng):
+        b = random_binary(rng, (1, 32))
+        packed = pack_bits(b, container_bits=32, bit_order="lsb")
+        word = int(packed.words[0, 0])
+        assert np.array_equal(unpack_word_reference(word, 32), b[0])
+
+    def test_all_zero_word(self):
+        assert np.array_equal(
+            unpack_word_reference(0, 8), -np.ones(8, dtype=np.int8)
+        )
+
+    def test_all_one_word(self):
+        assert np.array_equal(
+            unpack_word_reference(0xFF, 8), np.ones(8, dtype=np.int8)
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="word must be"):
+            unpack_word_reference(256, 8)
+        with pytest.raises(ValueError, match="word must be"):
+            unpack_word_reference(-1, 8)

@@ -1,0 +1,56 @@
+"""Property-based tests for bit packing (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.packing import pack_bits, unpack_bits, unpack_word_reference
+
+
+@st.composite
+def binary_arrays(draw):
+    rows = draw(st.integers(min_value=1, max_value=6))
+    cols = draw(st.integers(min_value=1, max_value=130))
+    bits = draw(
+        st.lists(
+            st.sampled_from([-1, 1]), min_size=rows * cols, max_size=rows * cols
+        )
+    )
+    return np.array(bits, dtype=np.int8).reshape(rows, cols)
+
+
+@given(
+    b=binary_arrays(),
+    container=st.sampled_from([8, 16, 32, 64]),
+    order=st.sampled_from(["msb", "lsb"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_pack_unpack_round_trip(b, container, order):
+    packed = pack_bits(b, container_bits=container, bit_order=order)
+    assert np.array_equal(unpack_bits(packed), b)
+
+
+@given(b=binary_arrays(), container=st.sampled_from([8, 16, 32, 64]))
+@settings(max_examples=40, deadline=None)
+def test_word_count_is_ceiling(b, container):
+    packed = pack_bits(b, container_bits=container)
+    expected_words = -(-b.shape[1] // container)
+    assert packed.words.shape[-1] == expected_words
+
+
+@given(word=st.integers(min_value=0, max_value=(1 << 32) - 1))
+@settings(max_examples=60, deadline=None)
+def test_reference_unpack_sign_count(word):
+    signs = unpack_word_reference(word, 32)
+    # popcount of the word equals the number of +1 signs.
+    assert (signs == 1).sum() == bin(word).count("1")
+    assert set(np.unique(signs)).issubset({-1, 1})
+
+
+@given(b=binary_arrays())
+@settings(max_examples=40, deadline=None)
+def test_packing_is_deterministic(b):
+    p1 = pack_bits(b)
+    p2 = pack_bits(b)
+    assert np.array_equal(p1.words, p2.words)
+    assert p1.n == p2.n

@@ -1,0 +1,80 @@
+"""Unit tests for refined greedy BCQ (repro.quant.refined)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.alternating import alternating_bcq
+from repro.quant.bcq import bcq_quantize
+from repro.quant.greedy import greedy_bcq
+from repro.quant.refined import refined_greedy_bcq
+
+
+def sq_error(w, alphas, bs):
+    recon = np.einsum("im,imn->mn", alphas, bs.astype(np.float64))
+    return ((w - recon) ** 2).sum()
+
+
+class TestRefinedGreedy:
+    def test_shapes(self, rng):
+        w = rng.standard_normal((5, 12))
+        alphas, bs = refined_greedy_bcq(w, 3)
+        assert alphas.shape == (3, 5)
+        assert bs.shape == (3, 5, 12)
+        assert bs.dtype == np.int8
+
+    def test_never_worse_than_greedy(self, rng):
+        # Refined <= greedy holds universally (each scale refit is
+        # optimal for the chosen components).  Refined vs alternating
+        # has no universal ordering (different local optima); on typical
+        # Gaussian matrices alternating wins, checked as a trend only.
+        w = rng.standard_normal((10, 40))
+        alternating_wins = 0
+        for bits in (2, 3, 4):
+            eg = sq_error(w, *greedy_bcq(w, bits))
+            er = sq_error(w, *refined_greedy_bcq(w, bits))
+            ea = sq_error(w, *alternating_bcq(w, bits))
+            assert er <= eg + 1e-9
+            assert ea <= eg + 1e-9
+            alternating_wins += ea <= er + 1e-9
+        assert alternating_wins >= 2
+
+    def test_one_bit_matches_greedy(self, rng):
+        # With one component, LS refit gives alpha = <w, sign(w)>/p,
+        # which for b=sign(w) equals mean|w| -- identical to greedy.
+        w = rng.standard_normal((4, 20))
+        ag, bg = greedy_bcq(w, 1)
+        ar, br = refined_greedy_bcq(w, 1)
+        assert np.array_equal(bg, br)
+        assert np.allclose(ag, ar)
+
+    def test_error_monotone_in_bits(self, rng):
+        w = rng.standard_normal((6, 30))
+        errs = [sq_error(w, *refined_greedy_bcq(w, b)) for b in (1, 2, 3, 4)]
+        for lo, hi in zip(errs[1:], errs[:-1]):
+            assert lo <= hi + 1e-9
+
+    def test_axis_none(self, rng):
+        w = rng.standard_normal((3, 7))
+        alphas, bs = refined_greedy_bcq(w, 2, axis=None)
+        assert alphas.shape == (2,)
+        assert bs.shape == (2, 3, 7)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            refined_greedy_bcq(np.zeros((0, 2)), 2)
+
+    def test_front_end_method(self, rng):
+        w = rng.standard_normal((8, 16))
+        t = bcq_quantize(w, 3, method="refined")
+        eg = ((w - bcq_quantize(w, 3, method="greedy").dequantize()) ** 2).sum()
+        er = ((w - t.dequantize()) ** 2).sum()
+        assert er <= eg + 1e-9
+
+    def test_engine_accepts_refined(self, rng):
+        from repro.core.kernel import BiQGemm
+
+        w = rng.standard_normal((9, 16))
+        x = rng.standard_normal((16, 3))
+        engine = BiQGemm.from_float(w, bits=2, mu=4, method="refined")
+        expected = bcq_quantize(w, 2, method="refined").matmul_dense(x)
+        assert np.allclose(engine.matmul(x), expected, atol=1e-8)

@@ -1,0 +1,94 @@
+"""Unit tests for uniform quantization (repro.quant.uniform)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.uniform import uniform_quantize
+
+
+class TestSymmetric:
+    def test_round_trip_error_bounded_by_step(self, rng):
+        w = rng.standard_normal((6, 9))
+        q = uniform_quantize(w, 8)
+        step = np.max(q.scale)
+        assert np.abs(w - q.dequantize()).max() <= step / 2 + 1e-12
+
+    def test_high_bits_near_exact(self, rng):
+        w = rng.standard_normal((4, 4))
+        q = uniform_quantize(w, 24)
+        assert np.allclose(q.dequantize(), w, atol=1e-5)
+
+    def test_codes_within_range(self, rng):
+        w = rng.standard_normal((5, 5)) * 10
+        q = uniform_quantize(w, 4)
+        assert q.q.max() <= 7
+        assert q.q.min() >= -8
+
+    def test_zero_point_zero(self, rng):
+        q = uniform_quantize(rng.standard_normal((3, 3)), 8)
+        assert not q.zero_point.any()
+
+    def test_per_row_scales(self, rng):
+        w = rng.standard_normal((4, 16))
+        w[2] *= 100.0
+        q = uniform_quantize(w, 8, per_row=True)
+        assert q.scale.shape == (4, 1)
+        # The scaled-up row must get a proportionally larger scale.
+        assert q.scale[2, 0] > 50 * q.scale[0, 0]
+
+    def test_per_row_better_than_per_tensor_on_mixed_scales(self, rng):
+        w = rng.standard_normal((4, 64))
+        w[0] *= 100.0
+        per_tensor = uniform_quantize(w, 6)
+        per_row = uniform_quantize(w, 6, per_row=True)
+        err_t = ((w - per_tensor.dequantize()) ** 2).sum()
+        err_r = ((w - per_row.dequantize()) ** 2).sum()
+        assert err_r < err_t
+
+    def test_constant_zero_tensor(self):
+        q = uniform_quantize(np.zeros((3, 3)), 8)
+        assert np.allclose(q.dequantize(), 0.0)
+
+
+class TestAsymmetric:
+    def test_fits_min_and_max(self, rng):
+        w = rng.uniform(2.0, 5.0, size=(4, 8))
+        q = uniform_quantize(w, 8, symmetric=False)
+        deq = q.dequantize()
+        assert deq.min() >= w.min() - np.max(q.scale)
+        assert deq.max() <= w.max() + np.max(q.scale)
+
+    def test_codes_unsigned(self, rng):
+        q = uniform_quantize(rng.standard_normal((4, 4)), 4, symmetric=False)
+        assert q.q.min() >= 0
+        assert q.q.max() <= 15
+
+    def test_asymmetric_beats_symmetric_on_shifted_data(self, rng):
+        w = rng.uniform(10.0, 11.0, size=(6, 32))
+        sym = uniform_quantize(w, 4)
+        asym = uniform_quantize(w, 4, symmetric=False)
+        err_s = ((w - sym.dequantize()) ** 2).sum()
+        err_a = ((w - asym.dequantize()) ** 2).sum()
+        assert err_a < err_s
+
+
+class TestValidation:
+    def test_rejects_one_bit(self, rng):
+        with pytest.raises(ValueError, match="bits >= 2"):
+            uniform_quantize(rng.standard_normal((2, 2)), 1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            uniform_quantize(np.array([[np.nan]]), 8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            uniform_quantize(np.zeros((0,)), 8)
+
+    def test_per_row_requires_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            uniform_quantize(rng.standard_normal(5), 8, per_row=True)
+
+    def test_nbytes_ideal(self, rng):
+        q = uniform_quantize(rng.standard_normal((4, 8)), 4)
+        assert q.nbytes_ideal == 4 * 8 * 4 / 8

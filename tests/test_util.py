@@ -1,0 +1,97 @@
+"""Unit tests for shared helpers (repro._util)."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_2d_float,
+    ceil_div,
+    check_binary,
+    check_positive_int,
+    pad_axis,
+)
+
+
+class TestAs2dFloat:
+    def test_converts_dtype(self):
+        out = as_2d_float(np.ones((2, 2), dtype=np.int32), "x")
+        assert out.dtype == np.float64
+
+    def test_contiguous(self):
+        base = np.ones((4, 4))[::2, ::2]
+        out = as_2d_float(base, "x")
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="x must be 2-D"):
+            as_2d_float(np.ones(3), "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="weights"):
+            as_2d_float(np.ones(3), "weights")
+
+
+class TestCheckBinary:
+    def test_accepts_plus_minus_one(self):
+        out = check_binary(np.array([[1, -1]]), "b")
+        assert out.dtype == np.int8
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="-1/\\+1"):
+            check_binary(np.array([0, 1]), "b")
+
+    def test_empty_ok(self):
+        out = check_binary(np.zeros((0, 3)), "b")
+        assert out.size == 0
+
+
+class TestCheckPositiveInt:
+    def test_accepts_numpy_ints(self):
+        assert check_positive_int(np.int64(3), "v") == 3
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="int"):
+            check_positive_int(True, "v")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(1.0, "v")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            check_positive_int(0, "v")
+
+    def test_upper_bound(self):
+        with pytest.raises(ValueError, match="<= 4"):
+            check_positive_int(5, "v", upper=4)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 4, 0), (1, 4, 1), (4, 4, 1), (5, 4, 2), (8, 4, 2)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+
+class TestPadAxis:
+    def test_no_copy_when_aligned(self):
+        a = np.ones((4, 6))
+        out = pad_axis(a, 3, axis=1)
+        assert out is a
+
+    def test_pads_to_multiple(self):
+        a = np.ones((4, 5))
+        out = pad_axis(a, 3, axis=1)
+        assert out.shape == (4, 6)
+        assert (out[:, 5] == 0).all()
+
+    def test_custom_value(self):
+        a = np.ones((2, 2))
+        out = pad_axis(a, 3, axis=0, value=-1)
+        assert (out[2] == -1).all()
+
+    def test_axis_zero(self):
+        a = np.ones((5, 2))
+        out = pad_axis(a, 4, axis=0)
+        assert out.shape == (8, 2)

@@ -1,0 +1,44 @@
+"""Unit tests for the synthetic task (repro.train.data)."""
+
+import numpy as np
+import pytest
+
+from repro.train.data import make_teacher_task
+
+
+class TestMakeTeacherTask:
+    def test_shapes(self):
+        task = make_teacher_task(train_n=100, test_n=50, dim=8, classes=4)
+        assert task.x_train.shape == (100, 8)
+        assert task.y_train.shape == (100,)
+        assert task.x_test.shape == (50, 8)
+        assert task.y_test.shape == (50,)
+        assert task.classes == 4
+
+    def test_labels_in_range(self):
+        task = make_teacher_task(train_n=200, test_n=50, classes=5)
+        assert task.y_train.min() >= 0
+        assert task.y_train.max() < 5
+
+    def test_all_classes_present(self):
+        task = make_teacher_task(train_n=2000, test_n=100, classes=4)
+        assert len(np.unique(task.y_train)) == 4
+
+    def test_seed_reproducible(self):
+        a = make_teacher_task(train_n=50, test_n=20, seed=9)
+        b = make_teacher_task(train_n=50, test_n=20, seed=9)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_train, b.y_train)
+
+    def test_different_seeds_differ(self):
+        a = make_teacher_task(train_n=50, test_n=20, seed=1)
+        b = make_teacher_task(train_n=50, test_n=20, seed=2)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_rejects_one_class(self):
+        with pytest.raises(ValueError, match="classes"):
+            make_teacher_task(classes=1)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            make_teacher_task(train_n=0)

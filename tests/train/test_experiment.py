@@ -1,0 +1,86 @@
+"""Unit tests for the Table I proxy experiments (repro.train.experiment)."""
+
+import pytest
+
+from repro.train.experiment import (
+    QuantQualityRow,
+    accuracy_vs_bits,
+    weight_sqnr_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def proxy_results():
+    # One shared (fast) run for the whole module -- training is the
+    # expensive part.
+    return accuracy_vs_bits(bits_list=(1, 2, 4), epochs=12)
+
+
+class TestAccuracyVsBits:
+    def test_baseline_beats_chance(self, proxy_results):
+        baseline, _rows = proxy_results
+        assert baseline > 0.5  # 8 classes -> chance is 0.125
+
+    def test_row_structure(self, proxy_results):
+        _, rows = proxy_results
+        schemes = {r.scheme for r in rows}
+        assert schemes == {"bcq-greedy", "bcq-alternating", "uniform"}
+        assert all(isinstance(r, QuantQualityRow) for r in rows)
+
+    def test_table1_shape_one_bit_worst(self, proxy_results):
+        """Table I's headline: 1-bit collapses, >=4 bits nearly lossless."""
+        _, rows = proxy_results
+        greedy = {r.bits: r for r in rows if r.scheme == "bcq-greedy"}
+        assert greedy[1].accuracy < greedy[4].accuracy
+        assert greedy[1].drop > 0.1
+        assert greedy[4].drop < 0.08
+
+    def test_drop_property(self, proxy_results):
+        _, rows = proxy_results
+        for r in rows:
+            assert r.drop == pytest.approx(r.baseline_accuracy - r.accuracy)
+
+    def test_deterministic(self):
+        a = accuracy_vs_bits(bits_list=(2,), epochs=3, seed=5)
+        b = accuracy_vs_bits(bits_list=(2,), epochs=3, seed=5)
+        assert a[0] == b[0]
+        assert a[1][0].accuracy == b[1][0].accuracy
+
+
+class TestWeightSqnrSweep:
+    def test_rows_and_fields(self):
+        rows = weight_sqnr_sweep(
+            shapes=((64, 64),), bits_list=(1, 2), schemes=("bcq-greedy",)
+        )
+        assert len(rows) == 2
+        assert set(rows[0]) == {"shape", "scheme", "bits", "sqnr_db"}
+
+    def test_sqnr_monotone_in_bits_for_bcq(self):
+        rows = weight_sqnr_sweep(
+            shapes=((128, 128),),
+            bits_list=(1, 2, 3, 4),
+            schemes=("bcq-greedy",),
+        )
+        sqnrs = [r["sqnr_db"] for r in rows]
+        assert sqnrs == sorted(sqnrs)
+
+    def test_alternating_at_least_greedy(self):
+        rows = weight_sqnr_sweep(
+            shapes=((128, 128),),
+            bits_list=(2, 3),
+            schemes=("bcq-greedy", "bcq-alternating"),
+        )
+        by = {(r["scheme"], r["bits"]): r["sqnr_db"] for r in rows}
+        for bits in (2, 3):
+            assert by[("bcq-alternating", bits)] >= by[("bcq-greedy", bits)] - 1e-9
+
+    def test_bcq_beats_uniform_at_low_bits(self):
+        """Table I's second message: BCQ needs fewer bits than uniform."""
+        rows = weight_sqnr_sweep(
+            shapes=((128, 128),),
+            bits_list=(2, 3),
+            schemes=("bcq-greedy", "uniform"),
+        )
+        by = {(r["scheme"], r["bits"]): r["sqnr_db"] for r in rows}
+        for bits in (2, 3):
+            assert by[("bcq-greedy", bits)] > by[("uniform", bits)]

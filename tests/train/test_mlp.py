@@ -1,0 +1,88 @@
+"""Unit tests for the numpy MLP (repro.train.mlp)."""
+
+import numpy as np
+import pytest
+
+from repro.train.data import make_teacher_task
+from repro.train.mlp import MLPClassifier
+
+
+class TestForward:
+    def test_logit_shape(self, rng):
+        model = MLPClassifier((8, 16, 4))
+        x = rng.standard_normal((5, 8))
+        assert model.forward(x).shape == (5, 4)
+
+    def test_predict_range(self, rng):
+        model = MLPClassifier((8, 16, 4))
+        preds = model.predict(rng.standard_normal((10, 8)))
+        assert preds.min() >= 0 and preds.max() < 4
+
+    def test_rejects_too_few_dims(self):
+        with pytest.raises(ValueError, match="at least"):
+            MLPClassifier((8,))
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        task = make_teacher_task(train_n=600, test_n=100, dim=12, classes=3)
+        model = MLPClassifier((12, 24, 3), seed=1)
+        losses = model.fit(task.x_train, task.y_train, epochs=12, seed=2)
+        assert losses[-1] < losses[0]
+
+    def test_beats_chance_on_test(self):
+        task = make_teacher_task(train_n=1500, test_n=400, dim=12, classes=4)
+        model = MLPClassifier((12, 32, 4), seed=1)
+        model.fit(task.x_train, task.y_train, epochs=20, seed=2)
+        assert model.accuracy(task.x_test, task.y_test) > 0.5  # chance 0.25
+
+    def test_rejects_wrong_input_width(self, rng):
+        model = MLPClassifier((8, 4))
+        with pytest.raises(ValueError, match="x must be"):
+            model.fit(rng.standard_normal((10, 7)), np.zeros(10, dtype=int))
+
+    def test_rejects_label_shape(self, rng):
+        model = MLPClassifier((8, 4))
+        with pytest.raises(ValueError, match="label"):
+            model.fit(rng.standard_normal((10, 8)), np.zeros(9, dtype=int))
+
+    def test_deterministic(self):
+        task = make_teacher_task(train_n=200, test_n=50, dim=8, classes=3)
+        accs = []
+        for _ in range(2):
+            model = MLPClassifier((8, 16, 3), seed=5)
+            model.fit(task.x_train, task.y_train, epochs=5, seed=6)
+            accs.append(model.accuracy(task.x_test, task.y_test))
+        assert accs[0] == accs[1]
+
+
+class TestWeightTransform:
+    def test_identity_transform_preserves_predictions(self, rng):
+        model = MLPClassifier((8, 16, 4), seed=0)
+        clone = model.with_transformed_weights(lambda w: w)
+        x = rng.standard_normal((10, 8))
+        assert np.array_equal(model.predict(x), clone.predict(x))
+
+    def test_original_unchanged(self, rng):
+        model = MLPClassifier((8, 16, 4), seed=0)
+        before = [w.copy() for w in model.weights]
+        model.with_transformed_weights(lambda w: w * 0)
+        for b, w in zip(before, model.weights):
+            assert np.array_equal(b, w)
+
+    def test_rejects_shape_change(self):
+        model = MLPClassifier((8, 16, 4))
+        with pytest.raises(ValueError, match="shape"):
+            model.with_transformed_weights(lambda w: w[:1])
+
+    def test_quantization_transform_degrades_gracefully(self, rng):
+        from repro.quant.bcq import bcq_quantize
+
+        task = make_teacher_task(train_n=800, test_n=300, dim=12, classes=3)
+        model = MLPClassifier((12, 24, 3), seed=1)
+        model.fit(task.x_train, task.y_train, epochs=15, seed=2)
+        base = model.accuracy(task.x_test, task.y_test)
+        q4 = model.with_transformed_weights(
+            lambda w: bcq_quantize(w, 4).dequantize()
+        )
+        assert q4.accuracy(task.x_test, task.y_test) > base - 0.15
