@@ -6,13 +6,15 @@ Runs in a few seconds::
 
 Walks the full pipeline of the paper: binary-coding quantization
 (Eq. 1-2), offline key compilation (Fig. 5), LUT build + query
-(Algorithms 1-2), and compares accuracy and weight footprint against the
-float baseline.
+(Algorithms 1-2), compares accuracy and weight footprint against the
+float baseline, and finishes with cost-model auto-dispatch: the same
+layer served by BiQGEMM at decode batch and by dense BLAS at scoring
+batch (paper Fig. 10's crossover).
 """
 
 import numpy as np
 
-from repro import BiQGemm, analytic_mu, bcq_quantize
+from repro import BiQGemm, analytic_mu, bcq_quantize, dispatch
 from repro.quant.error import relative_frobenius_error, sqnr_db
 
 
@@ -55,6 +57,20 @@ def main() -> None:
         "\nBiQGEMM vs dense Eq.2 max abs diff: "
         f"{np.abs(dense_eq2 - lut_out).max():.2e} (exact up to fp rounding)"
     )
+
+    # backend="auto": the cost-model planner picks the engine per batch
+    # (the paper's Section V: BiQGEMM at small batch, BLAS at large).
+    from repro.nn import QuantLinear, QuantSpec
+
+    layer = QuantLinear(weights, spec=QuantSpec(bits=3, backend="auto"))
+    print("\nauto dispatch on the 'pc' machine model:")
+    for b in (1, 8, 256):
+        plan = dispatch((m, n), bits=3, batch_hint=b, machine="pc")
+        assert plan == layer.planned_backend(batch=b)
+        print(f"  batch {b:>4}: planner picks {plan!r}")
+    out = layer(rng.standard_normal((1, n)))  # a decode step on BiQGEMM
+    print(f"  decode-step output shape {out.shape}, "
+          f"compiled engines: {layer.compiled_backends}")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,10 @@ Public API overview
 ``repro.gemm``
     Baseline engines: float BLAS GEMM, naive reference GEMM, packed GEMM
     with/without unpacking, and XNOR-popcount GEMM.
+``repro.engine``
+    The unified engine registry (every backend behind one protocol) and
+    the cost-model dispatch planner that resolves ``backend="auto"``
+    per shape, batch and machine.
 ``repro.hw``
     Simulated hardware substrate: the paper's Table III machine
     configurations, a roofline cost model, the Table II memory model and
@@ -52,14 +56,24 @@ from repro.quant.bcq import bcq_quantize, BCQTensor
 from repro.quant.uniform import uniform_quantize
 from repro.hw.machine import MachineConfig, MACHINES
 from repro.hw.costmodel import estimate
+from repro.engine import (
+    QuantSpec,
+    dispatch,
+    plan_backend,
+    registered_engines,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BiQGemm",
+    "QuantSpec",
     "analytic_mu",
     "bcq_quantize",
     "BCQTensor",
+    "dispatch",
+    "plan_backend",
+    "registered_engines",
     "uniform_quantize",
     "MachineConfig",
     "MACHINES",

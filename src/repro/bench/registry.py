@@ -629,6 +629,47 @@ def cache_ablation(quick: bool = False) -> list[Table]:
     return [table]
 
 
+def dispatch_experiment(quick: bool = False) -> list[Table]:
+    """Planner decisions and the BiQGEMM->dense crossover (Fig. 10).
+
+    For each machine/size/bit-width, asks the cost-model planner which
+    lossless engine serves each batch and records the batch at which
+    the plan leaves BiQGEMM for the dense BLAS path -- the quantity the
+    paper's Fig. 10 plots as the speedup curve crossing 1.0.
+    """
+    from repro.engine import QuantSpec, crossover_batch, plan_backend
+
+    plans = Table(
+        "Dispatch: planner choice per batch (lossless engines, mu=8)",
+        ["machine", "n=m", "bits", "b=1", "b=8", "b=32", "b=128", "b=512",
+         "crossover b"],
+        notes=[
+            "shape to check: BiQGEMM at small batch, dense at large; "
+            "crossover falls with bits and rises on bandwidth-starved "
+            "machines (paper Fig. 10 / Table IV)",
+            "crossover b = smallest power-of-two batch not planned onto "
+            "BiQGEMM ('-' = BiQGEMM to 1024)",
+        ],
+    )
+    machines = ("pc",) if quick else ("pc", "mobile", "v100")
+    sizes = (1024,) if quick else (512, 1024, 4096)
+    bits_list = (1, 3) if quick else (1, 2, 3)
+    batches = (1, 8, 32, 128, 512)
+    for mkey in machines:
+        for size in sizes:
+            for bits in bits_list:
+                spec = QuantSpec(bits=bits, backend="auto", machine=mkey)
+                row = [mkey, size, bits]
+                row.extend(
+                    plan_backend(size, size, spec=spec, batch_hint=b)
+                    for b in batches
+                )
+                cross = crossover_batch(size, size, spec=spec, machine=mkey)
+                row.append("-" if cross is None else cross)
+                plans.add_row(*row)
+    return [plans]
+
+
 def qat_experiment(quick: bool = False) -> list[Table]:
     """QAT vs PTQ (paper reference [48], DeepTwist weight distortion).
 
@@ -688,6 +729,7 @@ EXPERIMENTS: dict[str, Callable[[bool], list[Table]]] = {
     "shared": shared_ablation,
     "cache": cache_ablation,
     "qat": qat_experiment,
+    "dispatch": dispatch_experiment,
 }
 """Experiment id -> callable (see DESIGN.md Section 4 for the mapping)."""
 

@@ -78,6 +78,24 @@ class BiQGemm:
         if not np.isfinite(alphas).all():
             raise ValueError("alphas contain NaN or Inf")
         self._alphas = alphas
+        self._keys_intp: np.ndarray | None = None
+
+    backend_name = "biqgemm"
+    """Registry key of this engine in :mod:`repro.engine`."""
+
+    def _flat_keys(self) -> np.ndarray:
+        """Key planes widened to intp, cached for the flat query path.
+
+        The flat gather indexes with these keys on every call; caching
+        the conversion removes a per-tile, per-bit-plane astype from
+        the matmul hot loop.  Built lazily on the first flat-path query
+        so engines that only ever use the loop path (or are built
+        transiently) never pay the ~8x wider copy.  A benign race under
+        threads: the assignment is idempotent.
+        """
+        if self._keys_intp is None:
+            self._keys_intp = self._keys.keys.astype(np.intp)
+        return self._keys_intp
 
     # ------------------------------------------------------------------
     # constructors
@@ -369,8 +387,9 @@ class BiQGemm:
             offsets = (
                 np.arange(tile_g, dtype=np.intp) * q_tile.shape[1]
             )[None, :]
+            keys_intp = self._flat_keys()
             for i in range(self.bits):
-                idx = keys[i, r_sl, g_sl].astype(np.intp) + offsets
+                idx = keys_intp[i, r_sl, g_sl] + offsets
                 acc = flat[idx].sum(axis=1)
                 y[r_sl] += alphas[i, r_sl, None] * acc
         elif impl == "loop":

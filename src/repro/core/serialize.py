@@ -1,11 +1,23 @@
-"""Persist compiled BiQGEMM engines.
+"""Persist compiled matmul engines.
 
 Deployment per the paper's footnote 3: "matrix K instead of B can be
 loaded in advance into the system, since the weight matrices are fixed
-during inference" -- i.e. what ships is the compiled key matrix plus
-scales, not float weights.  This module serializes exactly that state
-(``.npz``, compressed), so an engine can be compiled once offline and
-reloaded by the inference process.
+during inference" -- i.e. what ships is the compiled artifact, not
+float weights.  This module serializes exactly that state (``.npz``,
+compressed) for *any* engine registered in :mod:`repro.engine`, so an
+engine can be compiled once offline and reloaded by the inference
+process.
+
+Two on-disk formats coexist:
+
+- **version 1** -- the historical BiQGEMM-only layout (keys, alphas,
+  mu, n).  Still written for :class:`~repro.core.kernel.BiQGemm`
+  engines, so artifacts produced by earlier releases keep loading and
+  new BiQGEMM artifacts stay readable by them.
+- **version 2** -- the registry layout: an ``engine_kind`` field names
+  the backend, and the remaining arrays are whatever that backend's
+  :class:`~repro.engine.registry.EngineEntry` export hook emitted; the
+  matching restore hook rebuilds the engine on load.
 """
 
 from __future__ import annotations
@@ -20,29 +32,57 @@ from repro.core.keys import KeyMatrix
 __all__ = ["save_engine", "load_engine"]
 
 _FORMAT_VERSION = 1
+_REGISTRY_FORMAT_VERSION = 2
 
 
-def save_engine(engine: BiQGemm, path: str | Path) -> None:
-    """Write an engine's compiled state to *path* (``.npz``)."""
-    if not isinstance(engine, BiQGemm):
-        raise TypeError(f"expected BiQGemm, got {type(engine).__name__}")
+def save_engine(engine, path: str | Path) -> None:
+    """Write an engine's compiled state to *path* (``.npz``).
+
+    :class:`~repro.core.kernel.BiQGemm` uses the version-1 layout;
+    every other registered engine goes through its registry export
+    hook into the version-2 layout.  Engines that are neither raise
+    ``TypeError``.
+    """
     path = Path(path)
+    if isinstance(engine, BiQGemm):
+        np.savez_compressed(
+            path,
+            format_version=np.int64(_FORMAT_VERSION),
+            keys=engine.key_matrix.keys,
+            alphas=engine.alphas,
+            mu=np.int64(engine.mu),
+            n=np.int64(engine.shape[1]),
+        )
+        return
+    from repro.engine import engine_entry
+
+    kind = getattr(engine, "backend_name", None)
+    if kind is None:
+        raise TypeError(
+            f"cannot serialize {type(engine).__name__}: not a BiQGemm and "
+            "not a registered engine (no backend_name)"
+        )
+    entry = engine_entry(kind)
+    if entry.export is None:
+        raise TypeError(f"backend {kind!r} does not support serialization")
+    state = entry.export(engine)
     np.savez_compressed(
         path,
-        format_version=np.int64(_FORMAT_VERSION),
-        keys=engine.key_matrix.keys,
-        alphas=engine.alphas,
-        mu=np.int64(engine.mu),
-        n=np.int64(engine.shape[1]),
+        format_version=np.int64(_REGISTRY_FORMAT_VERSION),
+        engine_kind=np.bytes_(kind.encode("ascii")),
+        **state,
     )
 
 
-def load_engine(path: str | Path) -> BiQGemm:
-    """Reconstruct a :class:`BiQGemm` saved by :func:`save_engine`.
+def load_engine(path: str | Path):
+    """Reconstruct an engine saved by :func:`save_engine`.
 
     Validates the format version and the internal consistency of the
-    stored arrays (shape/range checks run in the ``KeyMatrix``
-    constructor), so a truncated or foreign file fails loudly.
+    stored arrays (shape/range checks run in the engine constructors),
+    so a truncated or foreign file fails loudly.  Version-1 files load
+    as :class:`~repro.core.kernel.BiQGemm`; version-2 files load as
+    whatever backend their ``engine_kind`` names, provided it is
+    registered in this process.
     """
     path = Path(path)
     if not path.exists():
@@ -55,16 +95,31 @@ def load_engine(path: str | Path) -> BiQGemm:
     try:
         with np.load(path) as data:
             version = int(data["format_version"])
-            if version != _FORMAT_VERSION:
-                raise ValueError(
-                    f"unsupported engine format version {version} "
-                    f"(expected {_FORMAT_VERSION})"
+            if version == _FORMAT_VERSION:
+                km = KeyMatrix(
+                    keys=data["keys"], mu=int(data["mu"]), n=int(data["n"])
                 )
-            km = KeyMatrix(
-                keys=data["keys"], mu=int(data["mu"]), n=int(data["n"])
+                return BiQGemm(km, alphas=data["alphas"])
+            if version == _REGISTRY_FORMAT_VERSION:
+                from repro.engine import engine_entry
+
+                kind = bytes(data["engine_kind"].item()).decode("ascii")
+                entry = engine_entry(kind)
+                if entry.restore is None:
+                    raise ValueError(
+                        f"backend {kind!r} does not support deserialization"
+                    )
+                state = {
+                    name: data[name]
+                    for name in data.files
+                    if name not in ("format_version", "engine_kind")
+                }
+                return entry.restore(state)
+            raise ValueError(
+                f"unsupported engine format version {version} (expected "
+                f"{_FORMAT_VERSION} or {_REGISTRY_FORMAT_VERSION})"
             )
-            return BiQGemm(km, alphas=data["alphas"])
     except KeyError as exc:
         raise ValueError(
-            f"{path} is not a BiQGEMM engine file (missing field {exc})"
+            f"{path} is not a serialized engine file (missing field {exc})"
         ) from exc

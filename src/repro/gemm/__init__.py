@@ -1,19 +1,34 @@
-"""Baseline matrix-multiplication engines the paper compares against.
+"""Baseline matrix-multiplication kernels the paper compares against.
 
-- :mod:`repro.gemm.sgemm` -- dense float GEMM through numpy's BLAS; the
-  stand-in for Intel MKL / Eigen / cuBLAS.  Includes the paper's
-  "sGEMM" mode (each quantized weight stored alone in a 32-bit
-  container, so quantization brings no speedup).
-- :mod:`repro.gemm.reference` -- naive and blocked triple-loop GEMM, the
-  analogue of the paper's ``kCpu``/``kGpu`` textbook kernels.
-- :mod:`repro.gemm.packed` -- GEMM over bit-packed weights *with* the
-  unpacking step (correct, slow) and *without* it (incorrect by design;
-  the bandwidth probe of the paper's Fig. 9).
-- :mod:`repro.gemm.xnor` -- XNOR-popcount GEMM with quantized
-  activations (paper Eq. 3 and the ``xnor`` column of Table IV).
-- :mod:`repro.gemm.int8` -- fixed-point INT8 GEMM with dynamic
-  activation quantization (the uniform-quantization pipeline of paper
-  Section II-A).
+These are the raw kernels; each one is exposed to the rest of the
+system as a registered backend of the :mod:`repro.engine` registry
+(the adapter layer in :mod:`repro.engine.adapters`), where the
+dispatch planner prices it against BiQGEMM per shape, batch, bit
+width and machine.  The registry names are the ones a
+:class:`~repro.engine.base.QuantSpec` selects:
+
+``"dense"`` / ``"container"`` (:mod:`repro.gemm.sgemm`)
+    Dense float GEMM through numpy's BLAS -- the stand-in for Intel
+    MKL / Eigen / cuBLAS.  ``dense`` multiplies the dequantized weight
+    (the Fig. 10 baseline); ``container`` is the paper's "sGEMM" mode,
+    one binary component per 32-bit container and one BLAS plane per
+    bit, so quantization brings no speedup.
+``"unpack"`` (:mod:`repro.gemm.packed`)
+    GEMM over bit-packed weights *with* the Algorithm 3 unpacking step
+    (correct, slow).  The module also implements the *without*-unpack
+    scenario (incorrect by design; the bandwidth probe of the paper's
+    Fig. 9), which stays a bare kernel -- wrong numbers never get a
+    registry entry.
+``"xnor"`` (:mod:`repro.gemm.xnor`)
+    XNOR-popcount GEMM with quantized activations (paper Eq. 3 and the
+    ``xnor`` column of Table IV).  Lossy, so never an ``auto`` choice.
+``"int8"`` (:mod:`repro.gemm.int8`)
+    Fixed-point INT8 GEMM with dynamic activation quantization (the
+    uniform-quantization pipeline of paper Section II-A).  Lossy.
+
+:mod:`repro.gemm.reference` (naive and blocked triple-loop GEMM, the
+analogue of the paper's ``kCpu``/``kGpu`` textbook kernels) is kept as
+a testing oracle only and is deliberately unregistered.
 """
 
 from repro.gemm.sgemm import sgemm, sgemm_container

@@ -68,6 +68,46 @@ class Int8Gemm:
         self._w_bits = w_bits
         self._wq: UniformQuantized = uniform_quantize(mat, w_bits, per_row=True)
 
+    @classmethod
+    def from_quantized(cls, wq: UniformQuantized) -> "Int8Gemm":
+        """Rebuild an engine from already-fitted grid state.
+
+        The deserialization path: what ships is the integer codes plus
+        scales, never the float weight.
+        """
+        if not isinstance(wq, UniformQuantized):
+            raise TypeError(
+                f"expected UniformQuantized, got {type(wq).__name__}"
+            )
+        if wq.q.ndim != 2:
+            raise ValueError(f"codes must be 2-D, got shape {wq.q.shape}")
+        check_positive_int(wq.bits, "bits", upper=16)
+        if wq.bits < 2:
+            raise ValueError("weight quantization needs bits >= 2")
+        m = wq.q.shape[0]
+        scale = np.asarray(wq.scale)
+        zero = np.asarray(wq.zero_point)
+        # Per-row or per-tensor grids only -- anything else cannot have
+        # come from uniform_quantize and would fail obscurely in matmul.
+        if scale.size not in (1, m):
+            raise ValueError(
+                f"scale has {scale.size} entries, expected 1 or m={m}"
+            )
+        if zero.shape != scale.shape:
+            raise ValueError(
+                f"zero_point shape {zero.shape} != scale shape {scale.shape}"
+            )
+        obj = cls.__new__(cls)
+        obj._m, obj._n = map(int, wq.q.shape)
+        obj._w_bits = wq.bits
+        obj._wq = wq
+        return obj
+
+    @property
+    def quantized(self) -> UniformQuantized:
+        """The fitted weight grid (codes, scales, zero points)."""
+        return self._wq
+
     @property
     def shape(self) -> tuple[int, int]:
         """Logical ``(m, n)``."""

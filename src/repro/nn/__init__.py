@@ -4,9 +4,13 @@ The paper motivates BiQGEMM with NLP workloads (Section II-C):
 Transformer encoder/decoder stacks, BERT-style encoders and LSTM-based
 ASR models, all dominated by ``(m x n) @ (n x b)`` products with ``m, n``
 in the thousands.  This subpackage provides numpy implementations of
-those layers with a pluggable linear backend, so a whole model can run
-its projections through BiQGEMM, XNOR-GEMM, packed GEMM or dense BLAS
-and the outputs can be compared end to end.
+those layers with a pluggable linear backend: every projection flows
+through :func:`~repro.nn.linear.make_linear`, which resolves its engine
+via the :mod:`repro.engine` registry -- a pinned backend name, or
+``QuantSpec(backend="auto")`` for cost-model dispatch that picks
+BiQGEMM in the small-batch regime and dense BLAS at large batch
+(the paper's Section V crossover) -- so whole models can be compared
+end to end across engines.
 
 - :mod:`repro.nn.functional` -- softmax, layernorm, activations;
 - :mod:`repro.nn.linear` -- :class:`~repro.nn.linear.Linear` /
@@ -32,7 +36,12 @@ from repro.nn.transformer import (
 from repro.nn.lstm import LSTMCell, LSTMLayer, BiLSTMLayer
 from repro.nn.conv import QuantConv2d, conv2d_gemm, conv2d_reference, im2col
 from repro.nn.seq2seq import Seq2SeqTransformer
-from repro.nn.model_zoo import MODEL_SHAPES, model_gemm_shapes, build_encoder
+from repro.nn.model_zoo import (
+    MODEL_SHAPES,
+    model_backend_plan,
+    model_gemm_shapes,
+    build_encoder,
+)
 
 __all__ = [
     "softmax",
@@ -61,6 +70,7 @@ __all__ = [
     "im2col",
     "Seq2SeqTransformer",
     "MODEL_SHAPES",
+    "model_backend_plan",
     "model_gemm_shapes",
     "build_encoder",
 ]

@@ -3,8 +3,13 @@
 One attention block holds four ``(n x n)`` projection matrices (Q, K, V
 and the output projection) -- precisely the GEMMs the paper quantizes.
 The projections are injected through the linear factory so the whole
-block can run on any engine; the ``QK^T`` / ``AV`` products operate on
-two activations and stay dense float (weight-only quantization).
+block can run on any registered engine; with
+``QuantSpec(backend="auto")`` all four share one plan-cache entry (same
+``(m, n, bits)`` key), so the planner prices the shape once and every
+projection follows the batch regime -- BiQGEMM for single-token
+decoding, dense BLAS for long prefills.  The ``QK^T`` / ``AV`` products
+operate on two activations and stay dense float (weight-only
+quantization).
 """
 
 from __future__ import annotations

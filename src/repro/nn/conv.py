@@ -5,9 +5,12 @@ The binary-coding quantization literature the paper builds on
 to exactly the ``W_mat @ cols`` products BiQGEMM accelerates, with
 ``W_mat`` of shape ``(out_channels, in_channels * kh * kw)`` and one
 column per output pixel -- so the *batch* dimension of the paper's
-analysis becomes ``N * out_h * out_w``, typically large, which is why
-the paper's own evaluation focuses on the small-batch NLP regime while
-this module rounds out the substrate.
+analysis becomes ``N * out_h * out_w``, typically large.  That makes
+convolution the workload where ``backend="auto"`` earns its keep:
+:class:`QuantConv2d` runs its GEMM through the same registry-dispatched
+:class:`~repro.nn.linear.QuantLinear` machinery as every other layer,
+and the planner routinely picks the dense path for the huge pixel
+batches while the NLP layers stay on BiQGEMM.
 
 Layout: NCHW activations, OIHW weights.
 """
@@ -17,9 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import check_positive_int
-from repro.core.kernel import BiQGemm
-from repro.nn.linear import QuantSpec
-from repro.quant.bcq import bcq_quantize
+from repro.nn.linear import QuantLinear, QuantSpec
 
 __all__ = ["im2col", "conv2d_reference", "conv2d_gemm", "QuantConv2d"]
 
@@ -130,11 +131,14 @@ def conv2d_gemm(
 
 
 class QuantConv2d:
-    """BCQ-quantized convolution running its GEMM through BiQGEMM.
+    """BCQ-quantized convolution on a registry-dispatched engine.
 
     The OIHW weight is flattened to ``(out_channels, in*kh*kw)``,
     quantized per output channel (the BCQ convention for conv layers)
-    and compiled once.
+    and served through an inner :class:`~repro.nn.linear.QuantLinear`,
+    so any registered backend -- including ``"auto"`` dispatch over the
+    ``N * out_h * out_w`` pixel batch -- applies to convolutions with
+    no conv-specific code.
     """
 
     def __init__(
@@ -166,20 +170,26 @@ class QuantConv2d:
         self.stride = stride
         self.pad = pad
         self.spec = spec
-        w_mat = wa.reshape(self.out_channels, -1)
-        self._bcq = bcq_quantize(w_mat, spec.bits, method=spec.method)
-        self._engine = BiQGemm.from_bcq(self._bcq, mu=spec.mu)
+        # Bias is applied here after the NCHW reshape, not by the inner
+        # linear layer.
+        self._linear = QuantLinear(
+            wa.reshape(self.out_channels, -1), spec=spec
+        )
 
     def dequantized(self) -> np.ndarray:
-        """Effective OIHW weight implied by the quantization."""
-        return self._bcq.dequantize().reshape(
+        """Effective OIHW weight of the engine actually serving."""
+        return self._linear.dequantized().reshape(
             self.out_channels, self.in_channels, self.kh, self.kw
         )
 
     @property
     def weight_nbytes(self) -> int:
-        """Deployed bytes (keys + scales)."""
-        return self._engine.weight_nbytes
+        """Deployed bytes for the engine serving the batch hint."""
+        return self._linear.weight_nbytes
+
+    def planned_backend(self, batch: int = 1) -> str:
+        """The backend the planner resolves at *batch* pixel columns."""
+        return self._linear.planned_backend(batch)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Convolve NCHW input; returns NCHW output."""
@@ -195,7 +205,10 @@ class QuantConv2d:
         oh = _out_size(h, self.kh, self.stride, self.pad)
         ow = _out_size(w, self.kw, self.stride, self.pad)
         cols = im2col(xa, self.kh, self.kw, stride=self.stride, pad=self.pad)
-        out = self._engine.matmul(cols)
+        if cols.shape[1]:
+            out = self._linear.engine_for(cols.shape[1]).matmul(cols)
+        else:
+            out = np.zeros((self.out_channels, 0))
         out = out.reshape(self.out_channels, n, oh, ow).transpose(1, 0, 2, 3)
         if self.bias is not None:
             out = out + self.bias[None, :, None, None]

@@ -1,73 +1,45 @@
-"""Linear layers with pluggable matmul backends.
+"""Linear layers with registry-dispatched matmul backends.
 
 :class:`Linear` is the dense float reference.  :class:`QuantLinear`
-quantizes its weight with BCQ at construction and dispatches the forward
-product to one of the engines this repo implements:
-
-``backend="biqgemm"``
-    :class:`repro.core.kernel.BiQGemm` -- the paper's kernel.
-``backend="xnor"``
-    :class:`repro.gemm.xnor.XnorGemm` -- activations quantized on the
-    fly (paper Eq. 3).
-``backend="unpack"``
-    Bit-packed weights decoded per call then BLAS
-    (:func:`repro.gemm.packed.gemm_with_unpack` semantics).
-``backend="container"``
-    The paper's sGEMM: binary components stored one per 32-bit
-    container, plain BLAS (no quantization benefit).
-``backend="dense"``
-    Dequantize once and use BLAS -- numerically identical to
-    ``biqgemm`` and used as its oracle in tests.
+quantizes its weight with BCQ at construction and forwards its product
+to whatever engine the :mod:`repro.engine` registry resolves for its
+:class:`~repro.engine.base.QuantSpec` -- by name (``"biqgemm"``,
+``"xnor"``, ``"unpack"``, ``"container"``, ``"dense"``, ``"int8"``, or
+anything registered later), or via the cost-model planner with
+``backend="auto"``.  With ``auto`` and no ``batch_hint``, the layer
+re-plans per call from the observed batch, so a single layer serves
+the GEMV decode regime on BiQGEMM and large-batch scoring on dense
+BLAS, exactly the situational-winner behaviour of the paper's
+Section V; compiled engines are cached per backend, and plans come
+from the process-wide plan cache.
 
 Layer convention: activations are row vectors, ``y = x @ W^T + bias``
 with ``x`` shaped ``(..., n)`` and ``W`` shaped ``(m, n)``.  Internally
 the engines use the paper's column orientation; the layer handles the
-transposes.
+transposes.  Floating input dtypes are preserved end to end (bias
+addition follows numpy promotion).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Literal
-
 import numpy as np
 
-from repro._util import as_2d_float
-from repro.core.kernel import BiQGemm
-from repro.gemm.packed import gemm_with_unpack
-from repro.gemm.sgemm import sgemm_container
-from repro.gemm.xnor import XnorGemm
-from repro.quant.bcq import BCQTensor, bcq_quantize
-from repro.quant.packing import pack_bits
+from repro._util import as_2d_float, check_positive_int
+from repro.engine import (
+    AUTO_BACKEND,
+    Backend,
+    EngineBuildRequest,
+    MatmulEngine,
+    QuantSpec,
+    build_engine,
+    engine_entry,
+    resolve_backend,
+    weight_required,
+)
+from repro.hw.machine import MACHINES
+from repro.quant.bcq import BCQTensor
 
-__all__ = ["Linear", "QuantLinear", "QuantSpec", "make_linear"]
-
-Backend = Literal["biqgemm", "xnor", "unpack", "container", "dense"]
-
-
-@dataclass(frozen=True)
-class QuantSpec:
-    """How a :class:`QuantLinear` should quantize and compute.
-
-    Attributes
-    ----------
-    bits:
-        BCQ weight bits (paper: 1-3 for weights).
-    mu:
-        LUT-unit for the BiQGEMM backend.
-    method:
-        ``"greedy"`` or ``"alternating"`` BCQ solver.
-    backend:
-        Engine selection; see module docstring.
-    a_bits:
-        Activation bits for the ``xnor`` backend (ignored elsewhere).
-    """
-
-    bits: int = 3
-    mu: int = 8
-    method: str = "greedy"
-    backend: Backend = "biqgemm"
-    a_bits: int = 1
+__all__ = ["Linear", "QuantLinear", "QuantSpec", "Backend", "make_linear"]
 
 
 class Linear:
@@ -98,13 +70,34 @@ class Linear:
         return out
 
 
-class QuantLinear:
-    """BCQ-quantized linear layer with a selectable compute engine.
+def _validate_spec(spec: QuantSpec) -> None:
+    """Fail fast on spec fields the registry/planner would reject later."""
+    if spec.planner not in ("model", "autotune"):
+        raise ValueError(
+            f"planner must be 'model' or 'autotune', got {spec.planner!r}"
+        )
+    if spec.batch_hint is not None:
+        check_positive_int(spec.batch_hint, "batch_hint")
+    if spec.backend != AUTO_BACKEND:
+        engine_entry(spec.backend)  # raises on unknown backend names
+        return
+    if spec.machine not in MACHINES:
+        raise ValueError(
+            f"unknown machine {spec.machine!r}; expected one of "
+            f"{sorted(MACHINES)}"
+        )
 
-    The float weight is quantized once at construction; the original
-    dense weight is *not* retained (matching deployment, where only the
-    compiled keys ship).  ``dequantized`` reconstructs the effective
-    weight for analysis.
+
+class QuantLinear:
+    """BCQ-quantized linear layer with a registry-dispatched engine.
+
+    The float weight is quantized once at construction (the expensive
+    offline step) and then dropped unless a reachable backend declares
+    it needs the original (matching deployment, where only compiled
+    state ships).  Engines compile lazily on first use and are cached
+    per backend name, so an ``"auto"`` layer that serves two batch
+    regimes keeps both compiled engines without re-quantizing.
+    ``dequantized`` reconstructs the effective weight for analysis.
     """
 
     def __init__(
@@ -121,24 +114,17 @@ class QuantLinear:
             if bias.shape != (m,):
                 raise ValueError(f"bias must have shape ({m},), got {bias.shape}")
         self.bias = bias
+        _validate_spec(spec)
         self.spec = spec
-        self._bcq: BCQTensor = bcq_quantize(w, spec.bits, method=spec.method)
+        self._request = EngineBuildRequest(spec=spec, weight=w)
+        if not weight_required(spec):
+            # Solves BCQ (the state every reachable backend builds
+            # from) and drops the float weight.  Backends that fit
+            # their own grid to the float weight (int8) skip the BCQ
+            # solve entirely unless it is asked for.
+            self._request.release_weight()
         self._shape = (int(w.shape[0]), int(w.shape[1]))
-        backend = spec.backend
-        if backend == "biqgemm":
-            self._engine = BiQGemm.from_bcq(self._bcq, mu=spec.mu)
-        elif backend == "xnor":
-            self._engine = XnorGemm(self._bcq.binary, self._bcq.alphas)
-        elif backend == "unpack":
-            self._packed = [
-                pack_bits(self._bcq.binary[i]) for i in range(spec.bits)
-            ]
-        elif backend in ("container", "dense"):
-            pass
-        else:
-            raise ValueError(f"unknown backend {backend!r}")
-        if backend == "dense":
-            self._dense = self._bcq.dequantize()
+        self._engines: dict[str, MatmulEngine] = {}
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -147,54 +133,66 @@ class QuantLinear:
 
     @property
     def bcq(self) -> BCQTensor:
-        """The quantized weight representation."""
-        return self._bcq
+        """The BCQ representation (solved on first access)."""
+        return self._request.get_bcq()
 
     def dequantized(self) -> np.ndarray:
-        """Effective dense weight implied by the quantization."""
-        return self._bcq.dequantize()
+        """Effective dense weight of the engine actually serving.
+
+        Backends that build from BCQ state all share the layer's BCQ
+        reconstruction (no engine compile needed); backends that fit
+        their own grid to the float weight (int8) report the engine's
+        effective weight.
+        """
+        if not weight_required(self.spec):
+            return self.bcq.dequantize()
+        engine = self.engine_for(self.spec.batch_hint or 1)
+        engine_dequantize = getattr(engine, "dequantized", None)
+        if engine_dequantize is not None:
+            return engine_dequantize()
+        return self.bcq.dequantize()
+
+    def planned_backend(self, batch: int = 1) -> str:
+        """The concrete backend this layer would run at *batch* columns."""
+        return resolve_backend(self.spec, *self._shape, batch)
+
+    @property
+    def compiled_backends(self) -> tuple[str, ...]:
+        """Backends compiled (and cached) by this layer so far."""
+        return tuple(sorted(self._engines))
+
+    def engine_for(self, batch: int = 1) -> MatmulEngine:
+        """The compiled engine serving *batch* columns (built on demand)."""
+        name = self.planned_backend(batch)
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = build_engine(name, self._request)
+            self._engines[name] = engine
+        return engine
 
     @property
     def weight_nbytes(self) -> int:
-        """Deployed weight bytes for the chosen backend."""
-        backend = self.spec.backend
-        if backend == "biqgemm":
-            return self._engine.weight_nbytes
-        if backend == "xnor":
-            return self._engine.weight_nbytes
-        if backend == "unpack":
-            return sum(p.nbytes for p in self._packed) + self._bcq.alphas.nbytes
-        # container / dense: one float32 word per weight per plane.
-        bits, m, n = self._bcq.binary.shape
-        per_plane = m * n * 4
-        planes = bits if backend == "container" else 1
-        return planes * per_plane + self._bcq.alphas.nbytes
+        """Deployed weight bytes for the backend serving the batch hint."""
+        return int(self.engine_for(self.spec.batch_hint or 1).weight_nbytes)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Apply to ``(..., n)`` activations; returns ``(..., m)``."""
-        arr = np.asarray(x, dtype=np.float64)
+        arr = np.asarray(x)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
         lead = arr.shape[:-1]
         n = self._shape[1]
-        if arr.shape[-1] != n:
+        if arr.ndim == 0 or arr.shape[-1] != n:
             raise ValueError(
-                f"input features {arr.shape[-1]} != layer width {n}"
+                f"input features {arr.shape[-1] if arr.ndim else 0} != "
+                f"layer width {n}"
             )
         cols = arr.reshape(-1, n).T  # engines use (n, tokens)
-        backend = self.spec.backend
-        if backend == "biqgemm":
-            out_cols = self._engine.matmul(cols)
-        elif backend == "xnor":
-            out_cols = self._engine.matmul(cols, a_bits=self.spec.a_bits)
-        elif backend == "unpack":
-            out_cols = np.zeros((self._shape[0], cols.shape[1]))
-            for i, packed in enumerate(self._packed):
-                out_cols += self._bcq.alphas[i][:, None] * gemm_with_unpack(
-                    packed, cols
-                )
-        elif backend == "container":
-            out_cols = sgemm_container(self._bcq.binary, cols, self._bcq.alphas)
-        else:  # dense
-            out_cols = self._dense @ cols
+        if cols.shape[1]:
+            out_cols = self.engine_for(cols.shape[1]).matmul(cols)
+        else:
+            # Zero tokens: nothing to plan or multiply.
+            out_cols = np.zeros((self._shape[0], 0), dtype=arr.dtype)
         out = out_cols.T.reshape(lead + (self._shape[0],))
         if self.bias is not None:
             out = out + self.bias
@@ -211,8 +209,8 @@ def make_linear(
     :class:`QuantLinear`.
 
     Model builders take this as their injection point so a whole network
-    can be flipped between float and quantized execution with one
-    argument.
+    can be flipped between float execution, a pinned engine, or
+    cost-model auto-dispatch with one argument.
     """
     if spec is None:
         return Linear(weight, bias)

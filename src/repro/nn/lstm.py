@@ -4,7 +4,10 @@ LAS-style speech models stack bi-directional LSTMs whose gate
 projections are large GEMMs -- the paper cites six encoder layers with
 ``(2.5K x 5K)`` weights.  The input-hidden and hidden-hidden projections
 here flow through the pluggable linear factory, so a quantized LSTM runs
-its recurrence on BiQGEMM.
+its recurrence on any registered engine.  The recurrence is the paper's
+flagship GEMV regime -- one step sees ``batch`` columns, often 1 during
+decoding -- so a ``QuantSpec(backend="auto")`` cell plans onto BiQGEMM;
+pass ``batch_hint`` to pin the plan to the expected serving batch.
 
 Gate layout follows the usual ``[i, f, g, o]`` stacking: ``W_ih`` is
 ``(4h, input_dim)`` and ``W_hh`` is ``(4h, h)``.

@@ -6,8 +6,10 @@ is ``4K x 16K``, 256 MB in FP32) and the LAS ASR model (six bi-LSTM
 encoder layers with ``2.5K x 5K`` weights, two ``1.2K x 1.2K`` decoder
 layers).  ``MODEL_SHAPES`` records those dimensions;
 :func:`model_gemm_shapes` expands a model into its per-layer GEMM
-shapes for cost-model sweeps; :func:`build_encoder` instantiates a
-runnable random-weight encoder at (optionally scaled-down) size.
+shapes for cost-model sweeps; :func:`model_backend_plan` runs the
+dispatch planner over those shapes (which engine serves each layer at
+a batch, on a machine); :func:`build_encoder` instantiates a runnable
+random-weight encoder at (optionally scaled-down) size.
 """
 
 from __future__ import annotations
@@ -17,10 +19,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_positive_int
-from repro.nn.linear import QuantSpec
+from repro.engine import QuantSpec, plan_backend
 from repro.nn.transformer import TransformerConfig, TransformerEncoder
 
-__all__ = ["ModelShape", "MODEL_SHAPES", "model_gemm_shapes", "build_encoder"]
+__all__ = [
+    "ModelShape",
+    "MODEL_SHAPES",
+    "model_backend_plan",
+    "model_gemm_shapes",
+    "build_encoder",
+]
 
 
 @dataclass(frozen=True)
@@ -97,6 +105,31 @@ def model_gemm_shapes(key: str) -> list[tuple[str, int, int]]:
         out.append((f"L{layer}.ff2", d, f))
     out.extend(shape.extra_gemms)
     return out
+
+
+def model_backend_plan(
+    key: str,
+    *,
+    batch: int = 1,
+    spec: QuantSpec | None = None,
+    machine: str | None = None,
+) -> list[tuple[str, int, int, str]]:
+    """Planner decisions for every weight GEMM of a registered model.
+
+    Returns ``(layer_name, m, n, backend)`` rows -- the whole-model view
+    of ``backend="auto"``: at decode batch the attention projections all
+    land on BiQGEMM, while large batches (or many-bit specs) push the
+    big feed-forward shapes onto the dense path.  Plans come from the
+    shared plan cache, so a full BERT-large sweep prices each distinct
+    shape once.
+    """
+    check_positive_int(batch, "batch")
+    spec = spec or QuantSpec(backend="auto")
+    return [
+        (name, m, n, plan_backend(m, n, spec=spec, batch_hint=batch,
+                                  machine=machine))
+        for name, m, n in model_gemm_shapes(key)
+    ]
 
 
 def build_encoder(

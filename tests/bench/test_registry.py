@@ -15,6 +15,7 @@ FAST_EXPERIMENTS = [
     "table3",
     "table4",
     "lut_build",
+    "dispatch",
 ]
 
 
@@ -26,6 +27,7 @@ class TestRegistry:
             "fig8", "fig9", "fig10",
             "mu", "lut_build", "tiling", "threads",
             "models", "shared", "cache", "qat",
+            "dispatch",
         }
         assert expected == set(EXPERIMENTS)
 

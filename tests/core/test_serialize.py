@@ -55,7 +55,7 @@ class TestFailureModes:
     def test_foreign_npz_rejected(self, tmp_path):
         path = tmp_path / "foreign.npz"
         np.savez(path, a=np.zeros(3))
-        with pytest.raises(ValueError, match="not a BiQGEMM engine"):
+        with pytest.raises(ValueError, match="not a serialized engine"):
             load_engine(path)
 
     def test_bad_version_rejected(self, engine, tmp_path):
@@ -88,5 +88,70 @@ class TestFailureModes:
             load_engine(path)
 
     def test_save_rejects_non_engine(self, tmp_path):
-        with pytest.raises(TypeError, match="BiQGemm"):
+        with pytest.raises(TypeError, match="not a registered engine"):
             save_engine(np.zeros(3), tmp_path / "x.npz")
+
+
+class TestRegistryRoundTrip:
+    """Format v2: any registered engine round-trips, not just BiQGemm."""
+
+    @pytest.mark.parametrize(
+        "backend", ["dense", "container", "unpack", "xnor", "int8"]
+    )
+    def test_identical_results(self, rng, tmp_path, backend):
+        from repro.engine import EngineBuildRequest, QuantSpec, build_engine
+
+        spec = QuantSpec(bits=2, mu=4, backend=backend, a_bits=2)
+        request = EngineBuildRequest(
+            spec=spec, weight=rng.standard_normal((12, 30))
+        )
+        engine = build_engine(backend, request)
+        path = tmp_path / f"{backend}.npz"
+        save_engine(engine, path)
+        loaded = load_engine(path)
+        assert type(loaded) is type(engine)
+        assert loaded.shape == engine.shape
+        assert loaded.weight_nbytes == engine.weight_nbytes
+        x = rng.standard_normal((30, 5))
+        assert np.allclose(loaded.matmul(x), engine.matmul(x), atol=1e-12)
+
+    def test_biqgemm_still_writes_v1(self, engine, tmp_path):
+        # BiQGEMM artifacts stay readable by earlier releases.
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        with np.load(path) as data:
+            assert int(data["format_version"]) == 1
+
+    def test_int8_artifact_ships_codes_not_float_weights(self, rng, tmp_path):
+        # Paper footnote 3: compiled state ships, never float weights.
+        from repro.engine import EngineBuildRequest, QuantSpec, build_engine
+
+        request = EngineBuildRequest(
+            spec=QuantSpec(backend="int8"),
+            weight=rng.standard_normal((64, 64)),
+        )
+        engine = build_engine("int8", request)
+        path = tmp_path / "int8.npz"
+        save_engine(engine, path)
+        with np.load(path) as data:
+            assert "weight" not in data.files
+            assert data["q"].dtype == np.int32
+        # int8 codes compress far below the 32 KB fp32 weight.
+        assert path.stat().st_size < 64 * 64 * 4 / 2
+
+    def test_tampered_int8_artifact_fails_at_load(self, rng, tmp_path):
+        from repro.engine import EngineBuildRequest, QuantSpec, build_engine
+
+        request = EngineBuildRequest(
+            spec=QuantSpec(backend="int8"),
+            weight=rng.standard_normal((8, 16)),
+        )
+        engine = build_engine("int8", request)
+        path = tmp_path / "int8.npz"
+        save_engine(engine, path)
+        with np.load(path) as data:
+            state = {k: data[k] for k in data.files}
+        state["scale"] = np.ones(3)  # truncated grid
+        np.savez(path, **state)
+        with pytest.raises(ValueError, match="scale"):
+            load_engine(path)
