@@ -26,6 +26,12 @@ Public API overview
     Simulated hardware substrate: the paper's Table III machine
     configurations, a roofline cost model, the Table II memory model and
     an operation-counting simulator.
+``repro.api``
+    The model-level pipeline: declarative :class:`~repro.api.QuantConfig`
+    (global defaults + per-layer glob overrides),
+    :func:`~repro.api.quantize` over whole models, one-pass
+    :meth:`~repro.api.QuantModel.compile` planning, and the v3
+    whole-model artifact (``repro.api.save`` / ``repro.api.load``).
 ``repro.nn``
     Inference-only DNN layers (linear, attention, Transformer, LSTM) that
     can be backed by any of the matmul engines.
@@ -63,11 +69,15 @@ from repro.engine import (
     registered_engines,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+from repro.api import QuantConfig, quantize  # noqa: E402  (needs __version__)
 
 __all__ = [
     "BiQGemm",
+    "QuantConfig",
     "QuantSpec",
+    "quantize",
     "analytic_mu",
     "bcq_quantize",
     "BCQTensor",

@@ -1,0 +1,503 @@
+"""Model-level quantize -> compile -> serve.
+
+The paper's deployment story is whole-network: quantize every weight
+GEMM of a Transformer or LSTM offline, compile the engines, ship the
+compiled state, serve.  This module provides that pipeline over any
+model built from the :mod:`repro.nn` layers (and plain layer lists, and
+the numpy :class:`~repro.train.mlp.MLPClassifier`):
+
+:func:`quantize`
+    Walk the model, replace every float :class:`~repro.nn.linear.Linear`
+    with a :class:`~repro.nn.linear.QuantLinear` under the per-layer
+    spec a :class:`~repro.api.QuantConfig` resolves for its dotted path
+    -- mixed bit-widths are one glob override away.
+:class:`QuantModel`
+    The quantized-but-unplanned model: named layers, shapes, callable.
+:meth:`QuantModel.compile`
+    One planning pass over all layers through
+    :func:`repro.api.planner.plan_layers` (shared plan cache), pinning
+    each layer to its planned backend.
+:class:`CompiledModel`
+    The servable result: callable inference, ``warmup()``,
+    ``cost_report()``, ``save()`` to the v3 whole-model artifact.
+
+Layer naming: paths are dotted attribute chains with the repo's
+conventional segments -- encoder stacks enumerate as ``L0``, ``L1``,
+..., attention projections as ``attn.q/k/v/o``, feed-forward blocks as
+``ffn.ff1`` / ``ffn.ff2`` -- matching
+:func:`repro.nn.model_zoo.model_gemm_shapes`, so one override glob
+speaks to both the planner sweeps and real models.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.api.config import QuantConfig
+from repro.api.planner import (
+    LayerPlan,
+    ModelCostReport,
+    cost_report,
+    plan_layers,
+)
+from repro.engine import QuantSpec
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.conv import QuantConv2d
+from repro.nn.functional import relu
+from repro.nn.linear import Linear, QuantLinear
+from repro.nn.seq2seq import Seq2SeqTransformer
+from repro.nn.transformer import (
+    TransformerDecoderLayer,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+
+__all__ = [
+    "CompiledModel",
+    "QuantMLP",
+    "QuantModel",
+    "apply_config",
+    "named_quant_layers",
+    "quantize",
+]
+
+
+# ----------------------------------------------------------------------
+# traversal
+# ----------------------------------------------------------------------
+# Friendly path segments so glob overrides read like the paper's layer
+# names instead of python attribute spellings.
+_ATTR_ALIASES: dict[type, dict[str, str]] = {
+    MultiHeadAttention: {
+        "q_proj": "q",
+        "k_proj": "k",
+        "v_proj": "v",
+        "o_proj": "o",
+    },
+    TransformerEncoderLayer: {"ff1": "ffn.ff1", "ff2": "ffn.ff2"},
+    TransformerDecoderLayer: {"ff1": "ffn.ff1", "ff2": "ffn.ff2"},
+}
+
+# List attributes whose items enumerate as ``<prefix><i>`` (``L0``)
+# rather than ``<attr>.<i>`` (``layers.0``).
+_LIST_PREFIX_ALIASES: dict[type, dict[str, str]] = {
+    TransformerEncoder: {"layers": "L"},
+    Seq2SeqTransformer: {"encoder_layers": "enc", "decoder_layers": "dec"},
+}
+
+# Attributes walked despite a leading underscore, renamed (an empty
+# string collapses the segment: QuantConv2d's inner linear *is* the
+# conv layer as far as naming goes).
+_PRIVATE_WALKED: dict[type, dict[str, str]] = {
+    QuantConv2d: {"_linear": ""},
+}
+
+_LEAF_TYPES = (Linear, QuantLinear)
+
+Visit = Callable[[str, Any], Any]
+
+
+def _join(prefix: str, segment: str) -> str:
+    if not segment:
+        return prefix
+    return f"{prefix}.{segment}" if prefix else segment
+
+
+def _walkable(value: Any) -> bool:
+    if isinstance(value, (list, tuple, dict)):
+        return True
+    if isinstance(value, (str, bytes, np.ndarray, np.generic, type)):
+        return False
+    return hasattr(value, "__dict__")
+
+
+def _alias_for(cls: type, table: dict[type, dict[str, str]], attr: str):
+    for klass in cls.__mro__:
+        entry = table.get(klass)
+        if entry and attr in entry:
+            return entry[attr]
+    return None
+
+
+def _visit_item(item: Any, path: str, visit: Visit, seen: set[int]):
+    """Visit one child: returns a replacement for leaves, else None."""
+    if isinstance(item, _LEAF_TYPES):
+        return visit(path, item)
+    if _walkable(item):
+        _walk(item, path, visit, seen)
+    return None
+
+
+def _walk(node: Any, prefix: str, visit: Visit, seen: set[int]) -> None:
+    if id(node) in seen:
+        return
+    seen.add(id(node))
+    if isinstance(node, (list, tuple)):
+        for i, item in enumerate(node):
+            new = _visit_item(item, _join(prefix, str(i)), visit, seen)
+            if new is not None:
+                if not isinstance(node, list):
+                    raise TypeError(
+                        f"cannot replace layer {prefix}.{i} inside a tuple; "
+                        "use a list"
+                    )
+                node[i] = new
+        return
+    if isinstance(node, dict):
+        for key, item in list(node.items()):
+            new = _visit_item(item, _join(prefix, str(key)), visit, seen)
+            if new is not None:
+                node[key] = new
+        return
+    if not hasattr(node, "__dict__"):
+        return
+    cls = type(node)
+    for attr, value in list(vars(node).items()):
+        if attr.startswith("_"):
+            renamed = _alias_for(cls, _PRIVATE_WALKED, attr)
+            if renamed is None:
+                continue
+            segment = renamed
+        else:
+            segment = _alias_for(cls, _ATTR_ALIASES, attr)
+            if segment is None:
+                segment = attr
+        list_prefix = _alias_for(cls, _LIST_PREFIX_ALIASES, attr)
+        if list_prefix is not None and isinstance(value, list):
+            for i, item in enumerate(value):
+                new = _visit_item(
+                    item, _join(prefix, f"{list_prefix}{i}"), visit, seen
+                )
+                if new is not None:
+                    value[i] = new
+            continue
+        path = _join(prefix, segment)
+        new = _visit_item(value, path, visit, seen)
+        if new is not None:
+            setattr(node, attr, new)
+
+
+def named_quant_layers(model: Any) -> list[tuple[str, Any]]:
+    """All ``(dotted_path, layer)`` linear leaves of *model*, in walk
+    order.  Leaves are :class:`Linear` and :class:`QuantLinear`
+    instances; :class:`QuantConv2d` contributes its inner linear under
+    the conv's own path."""
+    found: list[tuple[str, Any]] = []
+
+    def visit(path: str, layer: Any):
+        found.append((path, layer))
+        return None
+
+    _walk(model, "", visit, set())
+    return found
+
+
+# ----------------------------------------------------------------------
+# the MLP adapter
+# ----------------------------------------------------------------------
+class QuantMLP:
+    """:mod:`repro.api` view of a trained numpy MLP classifier.
+
+    :class:`~repro.train.mlp.MLPClassifier` stores raw weight arrays;
+    this adapter lifts them into layer objects (``fc.0`` ... ``fc.N``)
+    so the quantize -> compile -> serve pipeline (and the v3 artifact)
+    applies to the Table I training substrate unchanged.  The forward
+    pass mirrors ``MLPClassifier.forward``: ReLU between layers, raw
+    logits out.
+    """
+
+    def __init__(self, layers: list):
+        if not layers:
+            raise ValueError("QuantMLP needs at least one layer")
+        self.fc = list(layers)
+
+    @classmethod
+    def from_classifier(cls, clf) -> "QuantMLP":
+        """Wrap an :class:`~repro.train.mlp.MLPClassifier`'s weights."""
+        return cls(
+            [Linear(w, b) for w, b in zip(clf.weights, clf.biases)]
+        )
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Layer widths ``(input, hidden..., classes)``."""
+        first = self.fc[0].shape
+        return (first[1],) + tuple(layer.shape[0] for layer in self.fc)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Logits for inputs ``(batch, input_dim)``."""
+        h = np.asarray(x)
+        for i, layer in enumerate(self.fc):
+            h = layer(h)
+            if i < len(self.fc) - 1:
+                h = relu(h)
+        return h
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class indices for inputs ``(batch, input_dim)``."""
+        return self(x).argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of correct predictions."""
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+
+def _adapt(model: Any) -> Any:
+    """Known non-layer models -> walkable adapters."""
+    from repro.train.mlp import MLPClassifier
+
+    if isinstance(model, MLPClassifier):
+        return QuantMLP.from_classifier(model)
+    if isinstance(model, tuple):
+        return list(model)
+    return model
+
+
+# ----------------------------------------------------------------------
+# quantize
+# ----------------------------------------------------------------------
+def _coerce_config(config, kwargs: Mapping[str, Any]) -> QuantConfig:
+    if kwargs:
+        if config is not None:
+            raise TypeError("pass either a config or bare kwargs, not both")
+        return QuantConfig(**kwargs)
+    if config is None:
+        return QuantConfig()
+    if isinstance(config, QuantConfig):
+        return config
+    if isinstance(config, QuantSpec):
+        return QuantConfig.from_spec(config)
+    raise TypeError(
+        f"config must be a QuantConfig or QuantSpec, got "
+        f"{type(config).__name__}"
+    )
+
+
+def apply_config(model: Any, config: QuantConfig) -> list[tuple[str, Any]]:
+    """Quantize *model* in place under *config*; returns named layers.
+
+    Float :class:`Linear` leaves become :class:`QuantLinear` under
+    ``config.spec_for(path)``; already-quantized leaves are re-specced
+    through :meth:`QuantLinear.with_spec` (sharing their solved BCQ
+    state).  The builders' ``spec=QuantConfig(...)`` path lands here.
+    """
+    named: list[tuple[str, Any]] = []
+
+    def visit(path: str, layer: Any):
+        spec = config.spec_for(path)
+        if isinstance(layer, QuantLinear):
+            new = layer if layer.spec == spec else layer.with_spec(spec)
+        else:
+            new = QuantLinear(layer.weight, layer.bias, spec=spec)
+        named.append((path, new))
+        return new if new is not layer else None
+
+    _walk(model, "", visit, set())
+    if not named:
+        raise ValueError(
+            f"no quantizable linear layers found in "
+            f"{type(model).__name__}"
+        )
+    return named
+
+
+def quantize(model: Any, config=None, **kwargs) -> "QuantModel":
+    """Quantize a whole model under one declarative config.
+
+    *model* may be any object built from :mod:`repro.nn` layers (an
+    encoder from :func:`~repro.nn.model_zoo.build_encoder`, an LSTM
+    cell, a seq2seq transformer), a plain list of layers, or a trained
+    :class:`~repro.train.mlp.MLPClassifier` (adapted via
+    :class:`QuantMLP`).  *config* is a :class:`QuantConfig` (or a
+    :class:`QuantSpec`, lifted); bare kwargs build one::
+
+        qm = quantize(build_encoder("transformer-base", scale=16),
+                      QuantConfig(bits=3, overrides={"ffn.*": {"bits": 4}}))
+
+    Quantization happens in place on the (possibly adapted) model; the
+    returned :class:`QuantModel` is the handle for compilation.
+    """
+    config = _coerce_config(config, kwargs)
+    model = _adapt(model)
+    named = apply_config(model, config)
+    return QuantModel(model, config, named)
+
+
+# ----------------------------------------------------------------------
+# QuantModel / CompiledModel
+# ----------------------------------------------------------------------
+class QuantModel:
+    """A quantized model plus its config: the pre-planning handle."""
+
+    def __init__(
+        self,
+        model: Any,
+        config: QuantConfig,
+        layers: Iterable[tuple[str, Any]] | None = None,
+    ):
+        self.model = model
+        self.config = config
+        self._layers = tuple(
+            layers if layers is not None else named_quant_layers(model)
+        )
+        if not self._layers:
+            raise ValueError("QuantModel holds no quantized layers")
+        # Bumped on every compile(); CompiledModels carry the value they
+        # were built at, so a superseded handle fails loudly instead of
+        # silently serving the newer compilation's pinned engines.
+        self._compile_generation = 0
+
+    def named_layers(self) -> tuple[tuple[str, Any], ...]:
+        """``(dotted_path, QuantLinear)`` per weight GEMM, walk order."""
+        return self._layers
+
+    def layer(self, path: str):
+        """Look up one layer by dotted path."""
+        for name, layer in self._layers:
+            if name == path:
+                return layer
+        raise KeyError(
+            f"no layer {path!r}; known paths: "
+            f"{[name for name, _ in self._layers]}"
+        )
+
+    def gemm_shapes(self) -> list[tuple[str, int, int]]:
+        """``(path, m, n)`` per layer -- the planner's input."""
+        return [
+            (name, layer.shape[0], layer.shape[1])
+            for name, layer in self._layers
+        ]
+
+    @property
+    def weight_nbytes(self) -> int:
+        """Total deployed weight bytes across layers (compiles engines)."""
+        return sum(layer.weight_nbytes for _, layer in self._layers)
+
+    def __call__(self, *args, **kwargs):
+        """Run the underlying model (per-call auto-dispatch until
+        compiled)."""
+        return self.model(*args, **kwargs)
+
+    def compile(
+        self,
+        *,
+        batch_hint: int | None = None,
+        planner: str | None = None,
+        machine: str | None = None,
+    ) -> "CompiledModel":
+        """Plan every layer in one pass and pin the choices.
+
+        ``batch_hint`` is the expected serving batch (defaults to the
+        config's hint, else 1); ``planner="autotune"`` ranks candidates
+        by host micro-benchmark instead of the cost model; *machine*
+        re-prices on another Table III config.  All plans go through the
+        shared plan cache -- a deep stack prices each distinct shape
+        once -- and each layer is pinned to its planned backend, so the
+        compiled model keeps serving it even if the plan cache is
+        cleared afterwards.
+
+        Compiling again re-pins the shared layers; any previously
+        returned :class:`CompiledModel` is superseded and refuses to
+        serve (quantize a fresh model to hold two compilations live).
+        """
+        hint = (
+            batch_hint
+            if batch_hint is not None
+            else (self.config.batch_hint or 1)
+        )
+        check_positive_int(hint, "batch_hint")
+        plans = plan_layers(
+            self.gemm_shapes(),
+            self.config,
+            batch_hint=hint,
+            planner=planner,
+            machine=machine,
+        )
+        for plan, (_, layer) in zip(plans, self._layers):
+            layer.pin_backend(plan.backend, batch_hint=hint)
+        self._compile_generation += 1
+        return CompiledModel(self, plans, hint)
+
+
+class CompiledModel:
+    """A planned, pinned, servable model.
+
+    Produced by :meth:`QuantModel.compile`; every layer is frozen onto
+    the backend the one-pass planner chose, so inference never
+    re-plans.  ``warmup()`` builds all engines ahead of the first
+    request; ``cost_report()`` shows the planner's evidence;
+    ``save(path)`` writes the v3 whole-model artifact.
+    """
+
+    def __init__(
+        self, quant_model: QuantModel, plans: list[LayerPlan], batch_hint: int
+    ):
+        self._qm = quant_model
+        self._plans = tuple(plans)
+        self.batch_hint = int(batch_hint)
+        self._generation = quant_model._compile_generation
+
+    def _check_active(self) -> None:
+        if self._generation != self._qm._compile_generation:
+            raise ValueError(
+                "this CompiledModel was superseded by a later compile() of "
+                "the same QuantModel (its layers were re-pinned); use the "
+                "newest handle, or quantize a fresh model per compilation"
+            )
+
+    @property
+    def model(self) -> Any:
+        """The underlying (quantized, pinned) model object."""
+        return self._qm.model
+
+    @property
+    def config(self) -> QuantConfig:
+        """The config the model was quantized under."""
+        return self._qm.config
+
+    @property
+    def layer_plans(self) -> tuple[LayerPlan, ...]:
+        """The full per-layer planning record."""
+        return self._plans
+
+    @property
+    def plans(self) -> dict[str, str]:
+        """``{dotted_path: backend}`` -- the compiled decision table."""
+        return {plan.name: plan.backend for plan in self._plans}
+
+    def named_layers(self) -> tuple[tuple[str, Any], ...]:
+        """``(dotted_path, QuantLinear)`` pairs, walk order."""
+        return self._qm.named_layers()
+
+    def warmup(self) -> "CompiledModel":
+        """Build every pinned engine now (first-request latency to
+        zero).  Returns self for chaining."""
+        self._check_active()
+        for _, layer in self._qm.named_layers():
+            layer.engine_for(self.batch_hint)
+        return self
+
+    def cost_report(self) -> ModelCostReport:
+        """Roofline price of each layer's pinned backend at the compile
+        batch."""
+        return cost_report(self._plans, batch_hint=self.batch_hint)
+
+    @property
+    def weight_nbytes(self) -> int:
+        """Total deployed weight bytes (builds engines on first use)."""
+        return self._qm.weight_nbytes
+
+    def __call__(self, *args, **kwargs):
+        """Serve: run the underlying model on the pinned engines."""
+        self._check_active()
+        return self.model(*args, **kwargs)
+
+    def save(self, path) -> None:
+        """Write the v3 whole-model artifact (see
+        :mod:`repro.api.artifact`)."""
+        from repro.api.artifact import save
+
+        save(self, path)

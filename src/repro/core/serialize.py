@@ -1,4 +1,4 @@
-"""Persist compiled matmul engines.
+"""Persist compiled matmul engines and whole-model artifacts.
 
 Deployment per the paper's footnote 3: "matrix K instead of B can be
 loaded in advance into the system, since the weight matrices are fixed
@@ -8,7 +8,7 @@ compressed) for *any* engine registered in :mod:`repro.engine`, so an
 engine can be compiled once offline and reloaded by the inference
 process.
 
-Two on-disk formats coexist:
+Three on-disk formats coexist:
 
 - **version 1** -- the historical BiQGEMM-only layout (keys, alphas,
   mu, n).  Still written for :class:`~repro.core.kernel.BiQGemm`
@@ -18,10 +18,18 @@ Two on-disk formats coexist:
   the backend, and the remaining arrays are whatever that backend's
   :class:`~repro.engine.registry.EngineEntry` export hook emitted; the
   matching restore hook rebuilds the engine on load.
+- **version 3** -- the whole-model layout written by
+  :mod:`repro.api.artifact`: a JSON ``manifest`` (config, structure,
+  per-layer plans) plus ``layer<i>.<field>`` arrays holding each
+  layer's engine payload.  This module owns only the container
+  (:func:`save_model_artifact` / :func:`load_model_artifact`, with
+  manifest validation); the model semantics live in
+  :func:`repro.api.save` / :func:`repro.api.load`.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -29,10 +37,18 @@ import numpy as np
 from repro.core.kernel import BiQGemm
 from repro.core.keys import KeyMatrix
 
-__all__ = ["save_engine", "load_engine"]
+__all__ = [
+    "load_engine",
+    "load_model_artifact",
+    "save_engine",
+    "save_model_artifact",
+]
 
 _FORMAT_VERSION = 1
 _REGISTRY_FORMAT_VERSION = 2
+_MODEL_FORMAT_VERSION = 3
+
+_MANIFEST_REQUIRED_FIELDS = ("config", "structure", "layers", "batch_hint")
 
 
 def save_engine(engine, path: str | Path) -> None:
@@ -115,6 +131,11 @@ def load_engine(path: str | Path):
                     if name not in ("format_version", "engine_kind")
                 }
                 return entry.restore(state)
+            if version == _MODEL_FORMAT_VERSION:
+                raise ValueError(
+                    f"{path} is a whole-model artifact (format version "
+                    f"{version}); load it with repro.api.load"
+                )
             raise ValueError(
                 f"unsupported engine format version {version} (expected "
                 f"{_FORMAT_VERSION} or {_REGISTRY_FORMAT_VERSION})"
@@ -123,3 +144,116 @@ def load_engine(path: str | Path):
         raise ValueError(
             f"{path} is not a serialized engine file (missing field {exc})"
         ) from exc
+
+
+# ----------------------------------------------------------------------
+# version 3: whole-model artifacts
+# ----------------------------------------------------------------------
+def _resolve_artifact_path(path: str | Path) -> Path:
+    path = Path(path)
+    if path.exists():
+        return path
+    # np.savez appends .npz when missing; mirror that on load.
+    alt = path.with_name(path.name + ".npz")
+    if alt.exists():
+        return alt
+    raise FileNotFoundError(f"no model artifact at {path}")
+
+
+def _validate_manifest(manifest) -> dict:
+    if not isinstance(manifest, dict):
+        raise ValueError(
+            f"corrupted model manifest: expected a JSON object, got "
+            f"{type(manifest).__name__}"
+        )
+    missing = [f for f in _MANIFEST_REQUIRED_FIELDS if f not in manifest]
+    if missing:
+        raise ValueError(
+            f"corrupted model manifest: missing field(s) {missing}"
+        )
+    layers = manifest["layers"]
+    if not isinstance(layers, list) or not layers:
+        raise ValueError(
+            "corrupted model manifest: 'layers' must be a non-empty list"
+        )
+    for i, entry in enumerate(layers):
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"corrupted model manifest: layer entry {i} is not an object"
+            )
+        for key in ("path", "backend", "m", "n", "spec"):
+            if key not in entry:
+                raise ValueError(
+                    f"corrupted model manifest: layer entry {i} is missing "
+                    f"{key!r}"
+                )
+    return manifest
+
+
+def save_model_artifact(
+    path: str | Path,
+    *,
+    manifest: dict,
+    arrays: dict[str, np.ndarray],
+) -> None:
+    """Write a version-3 whole-model artifact (``.npz``, compressed).
+
+    *manifest* must be JSON-able and carry at least
+    ``config/structure/layers/batch_hint``; *arrays* are the per-layer
+    engine payloads, keyed ``layer<i>.<field>``.  Validation runs on
+    write too, so a malformed manifest never reaches disk.
+    """
+    _validate_manifest(manifest)
+    reserved = {"format_version", "manifest"} & set(arrays)
+    if reserved:
+        raise ValueError(f"array names collide with reserved fields: {reserved}")
+    # No sort_keys: QuantConfig.overrides precedence is declaration
+    # order, which a JSON round trip preserves only if we do too.
+    blob = json.dumps(manifest).encode("utf-8")
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(_MODEL_FORMAT_VERSION),
+        manifest=np.frombuffer(blob, dtype=np.uint8),
+        **arrays,
+    )
+
+
+def load_model_artifact(
+    path: str | Path,
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read a version-3 artifact back as ``(manifest, arrays)``.
+
+    Fails loudly -- wrong format version, non-JSON or structurally
+    invalid manifests all raise ``ValueError`` before any engine state
+    is touched.
+    """
+    path = _resolve_artifact_path(path)
+    with np.load(path) as data:
+        try:
+            version = int(data["format_version"])
+        except KeyError as exc:
+            raise ValueError(
+                f"{path} is not a serialized artifact (missing field {exc})"
+            ) from exc
+        if version != _MODEL_FORMAT_VERSION:
+            raise ValueError(
+                f"{path} has format version {version}, not a whole-model "
+                f"artifact (version {_MODEL_FORMAT_VERSION}); "
+                "single-engine files load with repro.core.serialize."
+                "load_engine"
+            )
+        if "manifest" not in data.files:
+            raise ValueError(f"{path}: corrupted model artifact, no manifest")
+        try:
+            manifest = json.loads(bytes(data["manifest"].tobytes()))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"{path}: corrupted model manifest ({exc})"
+            ) from exc
+        _validate_manifest(manifest)
+        arrays = {
+            name: data[name]
+            for name in data.files
+            if name not in ("format_version", "manifest")
+        }
+    return manifest, arrays

@@ -52,6 +52,7 @@ from repro.engine.dispatch import (
     plan_cache_stats,
     plan_costs,
     resolve_backend,
+    validate_spec,
 )
 
 del _adapters
@@ -77,5 +78,6 @@ __all__ = [
     "registered_engines",
     "resolve_backend",
     "spec_candidates",
+    "validate_spec",
     "weight_required",
 ]

@@ -50,7 +50,32 @@ __all__ = [
     "plan_cache_stats",
     "plan_costs",
     "resolve_backend",
+    "validate_spec",
 ]
+
+
+def validate_spec(spec: QuantSpec) -> QuantSpec:
+    """Fail fast on spec fields the registry or planner would reject later.
+
+    Layers and configs call this at construction so that a typo'd
+    backend, machine, or planner surfaces immediately rather than on the
+    first multiply.  Returns *spec* unchanged for call-chaining.
+    """
+    if spec.planner not in ("model", "autotune"):
+        raise ValueError(
+            f"planner must be 'model' or 'autotune', got {spec.planner!r}"
+        )
+    if spec.batch_hint is not None:
+        check_positive_int(spec.batch_hint, "batch_hint")
+    if spec.backend != AUTO_BACKEND:
+        engine_entry(spec.backend)  # raises on unknown backend names
+        return spec
+    if spec.machine not in MACHINES:
+        raise ValueError(
+            f"unknown machine {spec.machine!r}; expected one of "
+            f"{sorted(MACHINES)}"
+        )
+    return spec
 
 
 def batch_bucket(batch: int) -> int:

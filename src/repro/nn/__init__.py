@@ -10,7 +10,10 @@ via the :mod:`repro.engine` registry -- a pinned backend name, or
 ``QuantSpec(backend="auto")`` for cost-model dispatch that picks
 BiQGEMM in the small-batch regime and dense BLAS at large batch
 (the paper's Section V crossover) -- so whole models can be compared
-end to end across engines.
+end to end across engines.  Every builder also accepts a whole-model
+:class:`~repro.api.QuantConfig` (per-layer glob overrides applied by
+dotted path), and :func:`repro.api.quantize` lifts any float model
+built here into the quantize -> compile -> serve pipeline.
 
 - :mod:`repro.nn.functional` -- softmax, layernorm, activations;
 - :mod:`repro.nn.linear` -- :class:`~repro.nn.linear.Linear` /

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro._util import check_positive_int
 from repro.nn.functional import softmax
-from repro.nn.linear import QuantSpec, make_linear
+from repro.nn.linear import QuantSpec, make_linear, split_builder_spec
 
 __all__ = ["MultiHeadAttention"]
 
@@ -34,7 +34,8 @@ class MultiHeadAttention:
         Head count; must divide ``dim``.
     spec:
         Optional :class:`~repro.nn.linear.QuantSpec` quantizing all four
-        projections.
+        projections, or a whole-model :class:`~repro.api.QuantConfig`
+        (overrides match the projection paths ``q``/``k``/``v``/``o``).
     """
 
     def __init__(
@@ -48,6 +49,7 @@ class MultiHeadAttention:
         spec: QuantSpec | None = None,
     ):
         check_positive_int(heads, "heads")
+        spec, qconfig = split_builder_spec(spec)
         dim = np.asarray(wq).shape[0]
         for name, w in (("wq", wq), ("wk", wk), ("wv", wv), ("wo", wo)):
             shape = np.asarray(w).shape
@@ -62,6 +64,10 @@ class MultiHeadAttention:
         self.k_proj = make_linear(wk, spec=spec)
         self.v_proj = make_linear(wv, spec=spec)
         self.o_proj = make_linear(wo, spec=spec)
+        if qconfig is not None:
+            from repro.api.model import apply_config
+
+            apply_config(self, qconfig)
 
     def _split(self, x: np.ndarray) -> np.ndarray:
         # (batch, seq, dim) -> (batch, heads, seq, head_dim)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import check_positive_int
-from repro.nn.linear import QuantLinear, QuantSpec
+from repro.nn.linear import QuantLinear, QuantSpec, _coerce_spec
 
 __all__ = ["im2col", "conv2d_reference", "conv2d_gemm", "QuantConv2d"]
 
@@ -139,6 +139,11 @@ class QuantConv2d:
     so any registered backend -- including ``"auto"`` dispatch over the
     ``N * out_h * out_w`` pixel batch -- applies to convolutions with
     no conv-specific code.
+
+    ``spec`` accepts a :class:`~repro.nn.linear.QuantSpec` or a
+    :class:`~repro.api.QuantConfig` (its base spec); the historical
+    bare-kwarg form (``QuantConv2d(w, bits=2, backend="auto")``) keeps
+    working through the deprecation adapter.
     """
 
     def __init__(
@@ -148,8 +153,10 @@ class QuantConv2d:
         *,
         stride: int = 1,
         pad: int = 0,
-        spec: QuantSpec = QuantSpec(),
+        spec: QuantSpec | None = None,
+        **legacy_kwargs,
     ):
+        spec = _coerce_spec(spec, legacy_kwargs)
         wa = np.asarray(weight, dtype=np.float64)
         if wa.ndim != 4:
             raise ValueError(f"weight must be OIHW, got shape {wa.shape}")

@@ -13,18 +13,33 @@ BLAS, exactly the situational-winner behaviour of the paper's
 Section V; compiled engines are cached per backend, and plans come
 from the process-wide plan cache.
 
+Three spellings select the quantization behaviour, newest first:
+
+- a :class:`~repro.api.QuantConfig` (model-level defaults; per-layer
+  glob overrides apply when the layer is built through
+  :func:`repro.api.quantize`);
+- a :class:`~repro.engine.base.QuantSpec` via ``spec=``;
+- bare keyword arguments (``bits=3, backend="auto"``) -- the historical
+  per-layer API, kept working through an adapter that emits a
+  deprecation note.
+
 Layer convention: activations are row vectors, ``y = x @ W^T + bias``
 with ``x`` shaped ``(..., n)`` and ``W`` shaped ``(m, n)``.  Internally
 the engines use the paper's column orientation; the layer handles the
-transposes.  Floating input dtypes are preserved end to end (bias
-addition follows numpy promotion).
+transposes.  Floating input dtypes are preserved end to end: engine
+outputs follow the activation dtype and the bias is cast to the output
+dtype before addition (it is stored in its own floating dtype, never
+silently coerced to float64).
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import fields, replace
+
 import numpy as np
 
-from repro._util import as_2d_float, check_positive_int
+from repro._util import as_2d_float
 from repro.engine import (
     AUTO_BACKEND,
     Backend,
@@ -34,27 +49,122 @@ from repro.engine import (
     build_engine,
     engine_entry,
     resolve_backend,
+    validate_spec,
     weight_required,
 )
-from repro.hw.machine import MACHINES
 from repro.quant.bcq import BCQTensor
 
-__all__ = ["Linear", "QuantLinear", "QuantSpec", "Backend", "make_linear"]
+__all__ = [
+    "Linear",
+    "QuantLinear",
+    "QuantSpec",
+    "Backend",
+    "make_linear",
+    "split_builder_spec",
+]
+
+_SPEC_FIELD_NAMES = tuple(f.name for f in fields(QuantSpec))
+
+
+def _check_bias(bias, m: int):
+    """Validate a bias vector, preserving its floating dtype.
+
+    Integer/bool biases are promoted to float64; float32/float16 biases
+    stay as given so low-precision models keep their dtype end to end.
+    """
+    if bias is None:
+        return None
+    arr = np.asarray(bias)
+    if arr.shape != (m,):
+        raise ValueError(f"bias must have shape ({m},), got {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(np.float64)
+    return arr
+
+
+def _add_bias(out: np.ndarray, bias: np.ndarray | None) -> np.ndarray:
+    """Bias addition in the output's dtype (no silent upcast)."""
+    if bias is None:
+        return out
+    return out + bias.astype(out.dtype, copy=False)
+
+
+def _coerce_spec(spec, kwargs: dict) -> QuantSpec:
+    """Resolve the three accepted spellings to one ``QuantSpec``.
+
+    ``spec`` may be a :class:`QuantSpec`, a
+    :class:`~repro.api.QuantConfig` (its base spec is used -- per-layer
+    overrides need the named-model path, :func:`repro.api.quantize`),
+    or ``None``.  Bare keyword arguments are the historical per-layer
+    API; they still work but emit a deprecation note pointing at
+    ``QuantConfig``.
+    """
+    if kwargs:
+        if spec is not None:
+            raise TypeError(
+                "pass either spec=/config or bare quantization kwargs, "
+                "not both"
+            )
+        unknown = sorted(set(kwargs) - set(_SPEC_FIELD_NAMES))
+        if unknown:
+            raise TypeError(
+                f"unknown quantization keyword(s) {unknown}; expected a "
+                f"subset of {sorted(_SPEC_FIELD_NAMES)}"
+            )
+        warnings.warn(
+            "per-layer quantization kwargs (bits=..., backend=...) are "
+            "deprecated; pass spec=QuantSpec(...) or quantize the whole "
+            "model with repro.api.QuantConfig",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return QuantSpec(**kwargs)
+    if spec is None:
+        return QuantSpec()
+    if isinstance(spec, QuantSpec):
+        return spec
+    from repro.api.config import QuantConfig
+
+    if isinstance(spec, QuantConfig):
+        return spec.base_spec()
+    raise TypeError(
+        f"spec must be a QuantSpec or QuantConfig, got {type(spec).__name__}"
+    )
+
+
+def split_builder_spec(spec):
+    """``(QuantSpec | None, QuantConfig | None)`` from a builder's
+    ``spec`` argument.
+
+    Model builders (transformer/LSTM/seq2seq stacks) accept either a
+    per-layer :class:`QuantSpec` (threaded to every projection) or a
+    whole-model :class:`~repro.api.QuantConfig`; in the config case the
+    builder constructs float layers first and then quantizes itself in
+    place through :func:`repro.api.apply_config`, so glob overrides see
+    the real layer paths.
+    """
+    if spec is None or isinstance(spec, QuantSpec):
+        return spec, None
+    from repro.api.config import QuantConfig
+
+    if isinstance(spec, QuantConfig):
+        return None, spec
+    raise TypeError(
+        f"spec must be a QuantSpec or QuantConfig, got {type(spec).__name__}"
+    )
 
 
 class Linear:
-    """Dense float linear layer: ``y = x @ W^T + bias``."""
+    """Dense float linear layer: ``y = x @ W^T + bias``.
+
+    Floating activation dtypes are preserved: the weight is cast (and
+    cached) per activation dtype, mirroring the quantized engines.
+    """
 
     def __init__(self, weight: np.ndarray, bias: np.ndarray | None = None):
         self.weight = as_2d_float(weight, "weight")
-        if bias is not None:
-            bias = np.asarray(bias, dtype=np.float64)
-            if bias.shape != (self.weight.shape[0],):
-                raise ValueError(
-                    f"bias must have shape ({self.weight.shape[0]},), "
-                    f"got {bias.shape}"
-                )
-        self.bias = bias
+        self.bias = _check_bias(bias, self.weight.shape[0])
+        self._weight_cache: dict[np.dtype, np.ndarray] = {}
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -63,29 +173,15 @@ class Linear:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Apply to ``(..., n)`` activations; returns ``(..., m)``."""
-        arr = np.asarray(x, dtype=np.float64)
-        out = arr @ self.weight.T
-        if self.bias is not None:
-            out = out + self.bias
-        return out
-
-
-def _validate_spec(spec: QuantSpec) -> None:
-    """Fail fast on spec fields the registry/planner would reject later."""
-    if spec.planner not in ("model", "autotune"):
-        raise ValueError(
-            f"planner must be 'model' or 'autotune', got {spec.planner!r}"
-        )
-    if spec.batch_hint is not None:
-        check_positive_int(spec.batch_hint, "batch_hint")
-    if spec.backend != AUTO_BACKEND:
-        engine_entry(spec.backend)  # raises on unknown backend names
-        return
-    if spec.machine not in MACHINES:
-        raise ValueError(
-            f"unknown machine {spec.machine!r}; expected one of "
-            f"{sorted(MACHINES)}"
-        )
+        arr = np.asarray(x)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        w = self._weight_cache.get(arr.dtype)
+        if w is None:
+            w = self.weight.astype(arr.dtype, copy=False)
+            self._weight_cache[arr.dtype] = w
+        out = arr @ w.T
+        return _add_bias(out, self.bias)
 
 
 class QuantLinear:
@@ -98,6 +194,11 @@ class QuantLinear:
     per backend name, so an ``"auto"`` layer that serves two batch
     regimes keeps both compiled engines without re-quantizing.
     ``dequantized`` reconstructs the effective weight for analysis.
+
+    Besides ``spec=QuantSpec(...)``, the constructor accepts a
+    :class:`~repro.api.QuantConfig` (its base spec) and, for backward
+    compatibility, bare kwargs (``QuantLinear(w, bits=3,
+    backend="auto")``) with a deprecation note.
     """
 
     def __init__(
@@ -105,16 +206,13 @@ class QuantLinear:
         weight: np.ndarray,
         bias: np.ndarray | None = None,
         *,
-        spec: QuantSpec = QuantSpec(),
+        spec: QuantSpec | None = None,
+        **legacy_kwargs,
     ):
+        spec = _coerce_spec(spec, legacy_kwargs)
         w = as_2d_float(weight, "weight")
-        m = w.shape[0]
-        if bias is not None:
-            bias = np.asarray(bias, dtype=np.float64)
-            if bias.shape != (m,):
-                raise ValueError(f"bias must have shape ({m},), got {bias.shape}")
-        self.bias = bias
-        _validate_spec(spec)
+        self.bias = _check_bias(bias, w.shape[0])
+        validate_spec(spec)
         self.spec = spec
         self._request = EngineBuildRequest(spec=spec, weight=w)
         if not weight_required(spec):
@@ -126,6 +224,76 @@ class QuantLinear:
         self._shape = (int(w.shape[0]), int(w.shape[1]))
         self._engines: dict[str, MatmulEngine] = {}
 
+    @classmethod
+    def from_engine(
+        cls,
+        engine: MatmulEngine,
+        *,
+        spec: QuantSpec,
+        bias: np.ndarray | None = None,
+    ) -> "QuantLinear":
+        """Rehydrate a layer around an already-compiled engine.
+
+        The deserialization path of the v3 whole-model artifact: no
+        float weight exists and no quantization runs.  ``spec.backend``
+        must be the concrete backend *engine* implements.  When the
+        engine exposes its BCQ state the layer can still compile other
+        BCQ-derived backends; otherwise it serves exactly this one.
+        """
+        if AUTO_BACKEND == spec.backend:
+            raise ValueError(
+                "from_engine needs a concrete spec.backend naming the "
+                "compiled engine"
+            )
+        engine_entry(spec.backend)
+        obj = cls.__new__(cls)
+        m, n = engine.shape
+        obj.bias = _check_bias(bias, int(m))
+        obj.spec = spec
+        bcq = getattr(engine, "bcq", None)
+        obj._request = (
+            EngineBuildRequest(spec=spec, bcq=bcq) if bcq is not None else None
+        )
+        obj._shape = (int(m), int(n))
+        obj._engines = {spec.backend: engine}
+        return obj
+
+    def with_spec(self, spec: QuantSpec) -> "QuantLinear":
+        """A layer serving the same quantized weight under a new spec.
+
+        The model-level re-spec path (:func:`repro.api.quantize` over an
+        already-quantized model): when *spec* agrees with the solved
+        quantization (``bits``/``method``) the expensive BCQ state is
+        shared and nothing re-runs; when the original float weight is
+        still held the layer is rebuilt from it; otherwise changing the
+        quantization itself is refused -- re-quantizing a reconstruction
+        would silently compound error.
+        """
+        validate_spec(spec)
+        if self._request is None:
+            raise ValueError(
+                "cannot re-spec a layer restored from a compiled artifact"
+            )
+        if self._request.weight is not None:
+            return QuantLinear(self._request.weight, self.bias, spec=spec)
+        if (spec.bits, spec.method) != (self.spec.bits, self.spec.method):
+            raise ValueError(
+                f"layer is already quantized at bits={self.spec.bits} "
+                f"method={self.spec.method!r}; a config asking for "
+                f"bits={spec.bits} method={spec.method!r} would "
+                "re-quantize a reconstruction.  Build the model float "
+                "(spec=None) and quantize it through repro.api instead."
+            )
+        obj = QuantLinear.__new__(QuantLinear)
+        obj.bias = self.bias
+        obj.spec = spec
+        obj._request = EngineBuildRequest(
+            spec=spec, bcq=self._request.get_bcq()
+        )
+        obj._shape = self._shape
+        obj._engines = {}
+        return obj
+
     @property
     def shape(self) -> tuple[int, int]:
         """Weight shape ``(m, n)``."""
@@ -134,6 +302,11 @@ class QuantLinear:
     @property
     def bcq(self) -> BCQTensor:
         """The BCQ representation (solved on first access)."""
+        if self._request is None:
+            raise ValueError(
+                "layer was restored from a compiled artifact without BCQ "
+                "state"
+            )
         return self._request.get_bcq()
 
     def dequantized(self) -> np.ndarray:
@@ -144,17 +317,42 @@ class QuantLinear:
         their own grid to the float weight (int8) report the engine's
         effective weight.
         """
-        if not weight_required(self.spec):
+        if self._request is not None and not weight_required(self.spec):
             return self.bcq.dequantize()
         engine = self.engine_for(self.spec.batch_hint or 1)
         engine_dequantize = getattr(engine, "dequantized", None)
         if engine_dequantize is not None:
             return engine_dequantize()
-        return self.bcq.dequantize()
+        engine_bcq = getattr(engine, "bcq", None)
+        if engine_bcq is not None:
+            return engine_bcq.dequantize()
+        if self._request is not None:
+            return self.bcq.dequantize()
+        raise ValueError(
+            f"backend {self.spec.backend!r} restored from a compiled "
+            "artifact carries no dequantizable state"
+        )
 
     def planned_backend(self, batch: int = 1) -> str:
         """The concrete backend this layer would run at *batch* columns."""
         return resolve_backend(self.spec, *self._shape, batch)
+
+    def pin_backend(
+        self, backend: str, *, batch_hint: int | None = None
+    ) -> None:
+        """Freeze this layer onto *backend* (the compile step's pin).
+
+        Replaces the spec's backend (and ``batch_hint``) so every later
+        call resolves to the pinned engine without consulting the
+        planner -- plans survive :func:`~repro.engine.clear_plan_cache`.
+        Already-compiled engines stay cached.
+        """
+        engine_entry(backend)
+        new = replace(self.spec, backend=backend, batch_hint=batch_hint)
+        validate_spec(new)
+        self.spec = new
+        if self._request is not None:
+            self._request.spec = new
 
     @property
     def compiled_backends(self) -> tuple[str, ...]:
@@ -166,6 +364,11 @@ class QuantLinear:
         name = self.planned_backend(batch)
         engine = self._engines.get(name)
         if engine is None:
+            if self._request is None:
+                raise ValueError(
+                    f"layer restored from a compiled artifact serves only "
+                    f"{self.compiled_backends}; cannot build {name!r}"
+                )
             engine = build_engine(name, self._request)
             self._engines[name] = engine
         return engine
@@ -194,9 +397,7 @@ class QuantLinear:
             # Zero tokens: nothing to plan or multiply.
             out_cols = np.zeros((self._shape[0], 0), dtype=arr.dtype)
         out = out_cols.T.reshape(lead + (self._shape[0],))
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return _add_bias(out, self.bias)
 
 
 def make_linear(
@@ -204,14 +405,17 @@ def make_linear(
     bias: np.ndarray | None = None,
     *,
     spec: QuantSpec | None = None,
+    **legacy_kwargs,
 ):
     """Factory: dense :class:`Linear` when *spec* is None, else
     :class:`QuantLinear`.
 
     Model builders take this as their injection point so a whole network
     can be flipped between float execution, a pinned engine, or
-    cost-model auto-dispatch with one argument.
+    cost-model auto-dispatch with one argument.  *spec* also accepts a
+    :class:`~repro.api.QuantConfig`; bare quantization kwargs take the
+    deprecated-adapter path through :class:`QuantLinear`.
     """
-    if spec is None:
+    if spec is None and not legacy_kwargs:
         return Linear(weight, bias)
-    return QuantLinear(weight, bias, spec=spec)
+    return QuantLinear(weight, bias, spec=spec, **legacy_kwargs)

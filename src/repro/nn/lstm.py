@@ -19,7 +19,7 @@ import numpy as np
 
 from repro._util import as_2d_float
 from repro.nn.functional import sigmoid, tanh
-from repro.nn.linear import QuantSpec, make_linear
+from repro.nn.linear import QuantSpec, make_linear, split_builder_spec
 
 __all__ = ["LSTMCell", "LSTMLayer", "BiLSTMLayer"]
 
@@ -35,6 +35,7 @@ class LSTMCell:
         *,
         spec: QuantSpec | None = None,
     ):
+        spec, qconfig = split_builder_spec(spec)
         w_ih = as_2d_float(w_ih, "w_ih")
         w_hh = as_2d_float(w_hh, "w_hh")
         if w_ih.shape[0] % 4 != 0:
@@ -55,6 +56,12 @@ class LSTMCell:
         self.bias = bias
         self.ih = make_linear(w_ih, spec=spec)
         self.hh = make_linear(w_hh, spec=spec)
+        if qconfig is not None:
+            # spec=QuantConfig path: quantize the freshly-built float
+            # gates in place (override paths: ``ih`` / ``hh``).
+            from repro.api.model import apply_config
+
+            apply_config(self, qconfig)
 
     def __call__(
         self, x: np.ndarray, state: tuple[np.ndarray, np.ndarray]

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_positive_int
-from repro.engine import QuantSpec, plan_backend
+from repro.engine import QuantSpec
 from repro.nn.transformer import TransformerConfig, TransformerEncoder
 
 __all__ = [
@@ -88,7 +88,11 @@ def model_gemm_shapes(key: str) -> list[tuple[str, int, int]]:
 
     Attention blocks contribute four ``(d, d)`` projections per layer;
     feed-forward blocks contribute ``(ff, d)`` and ``(d, ff)``;
-    ``extra_gemms`` are appended verbatim.
+    ``extra_gemms`` are appended verbatim.  Names follow the dotted-path
+    convention of :func:`repro.api.named_quant_layers`
+    (``L0.attn.q``, ``L0.ffn.ff1``, ...), so one
+    :class:`~repro.api.QuantConfig` override glob speaks to both this
+    planner sweep and a real :func:`build_encoder` model.
     """
     try:
         shape = MODEL_SHAPES[key]
@@ -101,8 +105,8 @@ def model_gemm_shapes(key: str) -> list[tuple[str, int, int]]:
     for layer in range(shape.layers):
         for proj in ("q", "k", "v", "o"):
             out.append((f"L{layer}.attn.{proj}", d, d))
-        out.append((f"L{layer}.ff1", f, d))
-        out.append((f"L{layer}.ff2", d, f))
+        out.append((f"L{layer}.ffn.ff1", f, d))
+        out.append((f"L{layer}.ffn.ff2", d, f))
     out.extend(shape.extra_gemms)
     return out
 
@@ -112,6 +116,7 @@ def model_backend_plan(
     *,
     batch: int = 1,
     spec: QuantSpec | None = None,
+    config=None,
     machine: str | None = None,
 ) -> list[tuple[str, int, int, str]]:
     """Planner decisions for every weight GEMM of a registered model.
@@ -122,14 +127,28 @@ def model_backend_plan(
     big feed-forward shapes onto the dense path.  Plans come from the
     shared plan cache, so a full BERT-large sweep prices each distinct
     shape once.
+
+    Routes through the same :func:`repro.api.plan_layers` pass that
+    :meth:`repro.api.QuantModel.compile` uses, so cost-model fixes and
+    per-layer :class:`~repro.api.QuantConfig` overrides (pass *config*
+    instead of *spec*) apply identically to sweeps and real models.
     """
     check_positive_int(batch, "batch")
-    spec = spec or QuantSpec(backend="auto")
-    return [
-        (name, m, n, plan_backend(m, n, spec=spec, batch_hint=batch,
-                                  machine=machine))
-        for name, m, n in model_gemm_shapes(key)
-    ]
+    from repro.api.config import QuantConfig
+    from repro.api.planner import plan_layers
+
+    if config is not None and spec is not None:
+        raise TypeError("pass either spec or config, not both")
+    if config is None:
+        config = QuantConfig.from_spec(spec or QuantSpec(backend="auto"))
+    elif not isinstance(config, QuantConfig):
+        raise TypeError(
+            f"config must be a QuantConfig, got {type(config).__name__}"
+        )
+    plans = plan_layers(
+        model_gemm_shapes(key), config, batch_hint=batch, machine=machine
+    )
+    return [(p.name, p.m, p.n, p.backend) for p in plans]
 
 
 def build_encoder(
@@ -145,7 +164,10 @@ def build_encoder(
     ``scale`` divides all widths (e.g. ``scale=8`` turns Transformer-big
     into a 128-wide miniature with identical topology) so full stacks
     stay tractable in pure Python; ``layers`` overrides the depth.
-    Weights are seeded and Xavier-scaled.
+    Weights are seeded and Xavier-scaled.  ``spec`` accepts a
+    :class:`~repro.nn.linear.QuantSpec` or a whole-model
+    :class:`~repro.api.QuantConfig` (per-layer glob overrides applied
+    by path -- the input :func:`repro.api.quantize` also takes).
     """
     check_positive_int(scale, "scale")
     shape = MODEL_SHAPES.get(key)

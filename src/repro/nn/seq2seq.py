@@ -20,7 +20,7 @@ import numpy as np
 
 from repro._util import check_positive_int
 from repro.nn.embedding import Embedding, positional_encoding
-from repro.nn.linear import QuantSpec, make_linear
+from repro.nn.linear import QuantSpec, make_linear, split_builder_spec
 from repro.nn.transformer import (
     TransformerConfig,
     TransformerDecoderLayer,
@@ -43,7 +43,9 @@ class Seq2SeqTransformer:
         Generator for the (Xavier-scaled) random weights.
     spec:
         Optional quantization spec applied to every projection,
-        including the generator.
+        including the generator; or a whole-model
+        :class:`~repro.api.QuantConfig` (override paths enumerate as
+        ``enc0.attn.q`` ... ``dec0.ffn.ff1`` ... ``generator``).
     """
 
     def __init__(
@@ -55,6 +57,7 @@ class Seq2SeqTransformer:
         spec: QuantSpec | None = None,
     ):
         check_positive_int(vocab_size, "vocab_size")
+        spec, qconfig = split_builder_spec(spec)
         if vocab_size < 4:
             raise ValueError("vocab_size must be >= 4 (bos/eos/pad + tokens)")
         self.config = config
@@ -74,6 +77,10 @@ class Seq2SeqTransformer:
         self.generator = make_linear(
             rng.standard_normal((vocab_size, d)) / np.sqrt(d), spec=spec
         )
+        if qconfig is not None:
+            from repro.api.model import apply_config
+
+            apply_config(self, qconfig)
 
     # ------------------------------------------------------------------
     def encode(self, src_ids: np.ndarray) -> np.ndarray:

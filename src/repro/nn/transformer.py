@@ -20,7 +20,16 @@ import numpy as np
 from repro._util import check_positive_int
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.functional import layer_norm, relu
-from repro.nn.linear import QuantSpec, make_linear
+from repro.nn.linear import QuantSpec, make_linear, split_builder_spec
+
+
+def _finish_build(model, qconfig) -> None:
+    # spec=QuantConfig path: the stack was built float; quantize it in
+    # place so glob overrides see the real layer paths (L0.attn.q, ...).
+    if qconfig is not None:
+        from repro.api.model import apply_config
+
+        apply_config(model, qconfig)
 
 __all__ = [
     "TransformerConfig",
@@ -69,6 +78,7 @@ class TransformerEncoderLayer:
         *,
         spec: QuantSpec | None = None,
     ):
+        spec, qconfig = split_builder_spec(spec)
         d, f = config.dim, config.ff_dim
         self.config = config
         self.attn = MultiHeadAttention(
@@ -81,6 +91,7 @@ class TransformerEncoderLayer:
         )
         self.ff1 = make_linear(_init(rng, f, d), np.zeros(f), spec=spec)
         self.ff2 = make_linear(_init(rng, d, f), np.zeros(d), spec=spec)
+        _finish_build(self, qconfig)
 
     def __call__(
         self, x: np.ndarray, *, mask: np.ndarray | None = None
@@ -100,6 +111,7 @@ class TransformerDecoderLayer:
         *,
         spec: QuantSpec | None = None,
     ):
+        spec, qconfig = split_builder_spec(spec)
         d, f = config.dim, config.ff_dim
         self.config = config
         self.self_attn = MultiHeadAttention(
@@ -120,6 +132,7 @@ class TransformerDecoderLayer:
         )
         self.ff1 = make_linear(_init(rng, f, d), np.zeros(f), spec=spec)
         self.ff2 = make_linear(_init(rng, d, f), np.zeros(d), spec=spec)
+        _finish_build(self, qconfig)
 
     def __call__(
         self,
@@ -147,11 +160,13 @@ class TransformerEncoder:
         *,
         spec: QuantSpec | None = None,
     ):
+        spec, qconfig = split_builder_spec(spec)
         self.config = config
         self.layers = [
             TransformerEncoderLayer(config, rng, spec=spec)
             for _ in range(config.layers)
         ]
+        _finish_build(self, qconfig)
 
     def __call__(
         self, x: np.ndarray, *, mask: np.ndarray | None = None

@@ -10,6 +10,12 @@ much of the post-training-quantization gap at low bit widths.
 This module implements that loop on the numpy MLP substrate, giving the
 Table I proxy its QAT-vs-PTQ comparison (paper message: 2-3-bit BCQ is
 usable *because* of retraining).
+
+:func:`train_qat_quantized` closes the loop with deployment: it exports
+the QAT result straight into a :class:`~repro.api.QuantConfig` and a
+:class:`~repro.api.QuantModel`, so the retrained weights flow into the
+same quantize -> compile -> serve pipeline (and v3 artifact) as any
+other model -- QAT at ``bits`` then serving at ``bits`` is one call.
 """
 
 from __future__ import annotations
@@ -21,7 +27,12 @@ from repro.quant.bcq import bcq_quantize
 from repro.train.data import TeacherTask
 from repro.train.mlp import MLPClassifier
 
-__all__ = ["distort_weights", "train_qat", "qat_vs_ptq"]
+__all__ = [
+    "distort_weights",
+    "qat_vs_ptq",
+    "train_qat",
+    "train_qat_quantized",
+]
 
 
 def distort_weights(
@@ -95,6 +106,55 @@ def train_qat(
         )
     assert best_model is not None
     return best_model, best_model.accuracy(task.x_test, task.y_test)
+
+
+def train_qat_quantized(
+    task: TeacherTask,
+    *,
+    bits: int,
+    backend: str = "auto",
+    overrides=None,
+    config=None,
+    **train_kwargs,
+):
+    """QAT -> deployable quantized model in one call.
+
+    Runs :func:`train_qat`, then exports the result straight into the
+    model-level API: the training settings become a
+    :class:`~repro.api.QuantConfig` (``bits`` and ``method`` match the
+    distortion loop, so quantization at serve time lands exactly on the
+    weights QAT converged to), and the retrained classifier is lifted
+    through :func:`repro.api.quantize`.
+
+    Returns ``(quant_model, test_accuracy)``; the config rides on
+    ``quant_model.config``, ready for ``.compile(batch_hint=...)`` and
+    ``repro.api.save``.  Pass *config* to supply a fully custom
+    :class:`~repro.api.QuantConfig` (its ``bits``/``method`` must match
+    the training *bits*), or *overrides* to attach per-layer globs
+    (``{"fc.0": {"backend": "dense"}}``) to the derived one.
+    """
+    from repro.api import QuantConfig, quantize
+
+    method = train_kwargs.get("method", "greedy")
+    if config is None:
+        config = QuantConfig(
+            bits=bits,
+            method=method,
+            backend=backend,
+            overrides=dict(overrides or {}),
+        )
+    else:
+        if overrides is not None:
+            raise TypeError("pass either config or overrides, not both")
+        if (config.bits, config.method) != (bits, method):
+            raise ValueError(
+                f"config (bits={config.bits}, method={config.method!r}) "
+                f"disagrees with the QAT settings (bits={bits}, "
+                f"method={method!r}); serving would re-quantize away "
+                "from the retrained point"
+            )
+    model, accuracy = train_qat(task, bits=bits, **train_kwargs)
+    return quantize(model, config), accuracy
 
 
 def qat_vs_ptq(

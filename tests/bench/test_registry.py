@@ -27,7 +27,7 @@ class TestRegistry:
             "fig8", "fig9", "fig10",
             "mu", "lut_build", "tiling", "threads",
             "models", "shared", "cache", "qat",
-            "dispatch",
+            "dispatch", "model_compile",
         }
         assert expected == set(EXPERIMENTS)
 

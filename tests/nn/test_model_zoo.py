@@ -62,8 +62,8 @@ class TestModelGemmShapes:
         shapes = dict(
             (name, (m, n)) for name, m, n in model_gemm_shapes("transformer-base")
         )
-        assert shapes["L0.ff1"] == (2048, 512)
-        assert shapes["L0.ff2"] == (512, 2048)
+        assert shapes["L0.ffn.ff1"] == (2048, 512)
+        assert shapes["L0.ffn.ff2"] == (512, 2048)
 
     def test_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown model"):
