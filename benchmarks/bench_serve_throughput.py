@@ -1,0 +1,99 @@
+"""Benchmark: dynamic-batching serving throughput (repro.serve).
+
+The acceptance bar for the serving runtime: under concurrent
+single-request clients on a zoo transformer model, the dynamic batcher
+must yield at least 2x the req/s of batch-size-1 serving, with every
+per-request output bit-identical to unbatched execution.  The rendered
+``serve`` experiment table lands in ``benchmarks/out/serve.txt``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.api import QuantConfig, quantize
+from repro.bench.registry import run_experiment, serve_throughput_rows
+from repro.nn.model_zoo import build_encoder
+
+
+def _compiled_encoder():
+    encoder = build_encoder("transformer-base", scale=16, layers=2, seed=0)
+    compiled = quantize(encoder, QuantConfig(bits=3, mu=8)).compile(
+        batch_hint=1
+    )
+    return compiled.warmup()
+
+
+def test_batcher_doubles_throughput_under_64_clients():
+    """The acceptance criterion, measured end to end.
+
+    Local margin is ~6-7x; one re-measure absorbs scheduler noise on
+    loaded CI runners before calling a < 2x reading a failure.
+    """
+    on = off = None
+    for _ in range(2):
+        rows = serve_throughput_rows(clients=64, requests_per_client=6)
+        off, on = rows
+        assert off["mode"] == "off" and on["mode"] == "on"
+        # Outputs identical (allclose rtol=0 -- in fact bit-identical).
+        assert off["mismatches"] == 0
+        assert on["mismatches"] == 0
+        # The mechanism: requests per model execution actually went up.
+        assert on["mean_batch"] > off["mean_batch"]
+        if on["speedup"] >= 2.0:
+            break
+    assert on["speedup"] >= 2.0, (
+        f"dynamic batcher speedup {on['speedup']:.2f}x < 2x "
+        f"({on['req_per_s']:.0f} vs {off['req_per_s']:.0f} req/s)"
+    )
+
+
+def test_served_outputs_allclose_rtol_zero():
+    """Per-request outputs through the batcher == unbatched, rtol=0."""
+    compiled = _compiled_encoder()
+    rng = np.random.default_rng(7)
+    dim = compiled.model.config.dim
+    inputs = [rng.standard_normal((4, dim)) for _ in range(16)]
+    expected = [compiled(x[None])[0] for x in inputs]
+    server = compiled.serve(workers=2, max_batch=16, max_latency_ms=20.0)
+    try:
+        import threading
+
+        got = [None] * len(inputs)
+
+        def client(i):
+            got[i] = server.predict("default", inputs[i])
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(inputs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        server.stop()
+    for g, e in zip(got, expected):
+        assert np.allclose(g, e, rtol=0, atol=0)
+
+
+def test_single_request_latency(benchmark):
+    """Steady-state per-request latency through the serving stack."""
+    compiled = _compiled_encoder()
+    x = np.random.default_rng(1).standard_normal(
+        (4, compiled.model.config.dim)
+    )
+    server = compiled.serve(workers=1, max_batch=1)
+    try:
+        benchmark(server.predict, "default", x)
+    finally:
+        server.stop()
+
+
+@pytest.mark.parametrize("quick", [True])
+def test_serve_table_artifact(artifact_dir, quick):
+    """Regenerate the serve table and store it with the others."""
+    tables = run_experiment("serve", quick=quick)
+    write_artifact(artifact_dir, "serve", tables)
+    assert all("MISMATCH" not in str(row) for t in tables for row in t.rows)

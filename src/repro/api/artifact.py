@@ -31,7 +31,7 @@ from repro.core.serialize import load_model_artifact, save_model_artifact
 from repro.engine import QuantSpec, engine_entry
 from repro.nn.linear import QuantLinear
 
-__all__ = ["load", "register_model_structure", "save"]
+__all__ = ["load", "load_with_manifest", "register_model_structure", "save"]
 
 
 # ----------------------------------------------------------------------
@@ -282,6 +282,16 @@ def load(path: str | Path) -> CompiledModel:
     artifact *is* the plan).  Restored layers serve their compiled
     backend; truncated or tampered files fail loudly.
     """
+    return load_with_manifest(path)[0]
+
+
+def load_with_manifest(path: str | Path) -> tuple[CompiledModel, dict]:
+    """:func:`load` plus the raw JSON manifest it decoded.
+
+    For callers that also want the artifact's provenance/metadata (the
+    serving :class:`repro.serve.ModelStore`) without opening and
+    validating the file a second time.
+    """
     manifest, arrays = load_model_artifact(path)
     config = QuantConfig.from_dict(manifest["config"])
     layers_by_path: dict[str, QuantLinear] = {}
@@ -328,4 +338,4 @@ def load(path: str | Path) -> CompiledModel:
         )
     model = _rebuild_structure(manifest["structure"], layers_by_path)
     qm = QuantModel(model, config, named)
-    return CompiledModel(qm, plans, int(manifest["batch_hint"]))
+    return CompiledModel(qm, plans, int(manifest["batch_hint"])), manifest

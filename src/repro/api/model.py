@@ -31,6 +31,7 @@ speaks to both the planner sweeps and real models.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
@@ -422,6 +423,33 @@ class QuantModel:
         return CompiledModel(self, plans, hint)
 
 
+def _share_arrays(node: Any, memo: dict, seen: set[int]) -> None:
+    """Seed a deepcopy *memo* so every ndarray under *node* is shared.
+
+    Used by :meth:`CompiledModel.clone`: replicas need independent
+    mutable bookkeeping (dicts, locks, layer objects) but the read-only
+    float parameters -- a vocab-sized embedding table, say -- must not
+    be duplicated per worker.
+    """
+    if id(node) in seen:
+        return
+    seen.add(id(node))
+    if isinstance(node, np.ndarray):
+        memo[id(node)] = node
+        return
+    if isinstance(node, (list, tuple)):
+        for item in node:
+            _share_arrays(item, memo, seen)
+        return
+    if isinstance(node, dict):
+        for value in node.values():
+            _share_arrays(value, memo, seen)
+        return
+    if _walkable(node):
+        for value in vars(node).values():
+            _share_arrays(value, memo, seen)
+
+
 class CompiledModel:
     """A planned, pinned, servable model.
 
@@ -490,10 +518,74 @@ class CompiledModel:
         """Total deployed weight bytes (builds engines on first use)."""
         return self._qm.weight_nbytes
 
-    def __call__(self, *args, **kwargs):
-        """Serve: run the underlying model on the pinned engines."""
+    def __call__(self, x, *args, **kwargs):
+        """Serve: run the underlying model on the pinned engines.
+
+        1-D inputs are auto-promoted to a single-row batch ``(1, k)``
+        and the output's unit batch axis is squeezed away, so a
+        per-request serving path can hand vectors straight through
+        without caller-side reshapes.
+        """
         self._check_active()
-        return self.model(*args, **kwargs)
+        arr = np.asarray(x)
+        if arr.ndim == 1:
+            out = self.model(arr[None, :], *args, **kwargs)
+            out = np.asarray(out)
+            return out[0] if out.ndim and out.shape[0] == 1 else out
+        return self.model(arr, *args, **kwargs)
+
+    def clone(self) -> "CompiledModel":
+        """An independent serving replica sharing the compiled engines.
+
+        The heavy immutable state -- compiled engines, BCQ solutions,
+        biases -- is shared; the model structure and every layer's
+        mutable bookkeeping (engine dict, build lock) are copied, so one
+        replica per worker thread serves without contending on the
+        others.  The replica is its own :class:`QuantModel` /
+        :class:`CompiledModel` pair: re-compiling the original never
+        supersedes it.
+        """
+        self._check_active()
+        memo: dict[int, Any] = {}
+        named_src = self._qm.named_layers()
+        for _, layer in named_src:
+            memo[id(layer)] = layer.clone_shared()
+        # Inference never mutates parameters, so every float array
+        # outside the quantized layers (embeddings, norms, biases) is
+        # shared too -- replicas copy structure, not memory.
+        _share_arrays(self._qm.model, memo, set())
+        model = copy.deepcopy(self._qm.model, memo)
+        named = [(name, memo[id(layer)]) for name, layer in named_src]
+        qm = QuantModel(model, self._qm.config, named)
+        return CompiledModel(qm, list(self._plans), self.batch_hint)
+
+    def replicate(self, n: int) -> list["CompiledModel"]:
+        """*n* warmed serving replicas (see :meth:`clone`).
+
+        Engines are compiled once (``warmup()``) before cloning so every
+        replica shares the same built engines rather than racing to
+        build its own.
+        """
+        check_positive_int(n, "n")
+        self.warmup()
+        return [self.clone() for _ in range(n)]
+
+    def serve(self, name: str = "default", **kwargs) -> Any:
+        """Start an in-process :class:`repro.serve.Server` on this model.
+
+        Keyword arguments are :class:`repro.serve.ServeConfig` fields
+        (``workers``, ``max_batch``, ``max_latency_ms``, ``max_queue``,
+        ...).  The returned server is already started; call
+        ``predict(name, x)`` on it, expose it over HTTP with
+        ``serve_http()``, and ``stop()`` (or use it as a context
+        manager) when done.
+        """
+        from repro.serve import ServeConfig, Server
+
+        server = Server(config=ServeConfig(**kwargs))
+        server.add_model(name, self)
+        server.start()
+        return server
 
     def save(self, path) -> None:
         """Write the v3 whole-model artifact (see

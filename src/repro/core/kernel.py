@@ -59,6 +59,17 @@ class BiQGemm:
     alphas:
         Per-bit, per-row scale factors, shape ``(bits, m)``.  ``None``
         means all-ones (a purely binary matrix).
+
+    The ``batch_invariant`` attribute (default False) pins the two
+    batch-tuned execution knobs -- tile selection and the ``"auto"``
+    query path -- to batch-independent choices, making every output
+    column bit-identical no matter how many other columns share the
+    call.  The :mod:`repro.engine` registry enables it for engines
+    serving :class:`~repro.nn.linear.QuantLinear` layers, where the
+    serving batcher coalesces and splits requests and per-request
+    results must not depend on who they were batched with; direct
+    kernel users keep the per-call heuristics (the flat gather only
+    wins at GEMV-like batches anyway).
     """
 
     def __init__(self, key_matrix: KeyMatrix, alphas: np.ndarray | None = None):
@@ -79,9 +90,13 @@ class BiQGemm:
             raise ValueError("alphas contain NaN or Inf")
         self._alphas = alphas
         self._keys_intp: np.ndarray | None = None
+        self.batch_invariant = False
 
     backend_name = "biqgemm"
     """Registry key of this engine in :mod:`repro.engine`."""
+
+    _INVARIANT_TILE_BATCH = 32
+    """Reference batch for tile selection in batch-invariant mode."""
 
     def _flat_keys(self) -> np.ndarray:
         """Key planes widened to intp, cached for the flat query path.
@@ -261,8 +276,26 @@ class BiQGemm:
         groups = self._keys.groups
         m = self._keys.m
         dtype = arr.dtype
+        # Batch-invariant mode (layer/serving engines, see the class
+        # docstring): every knob the runtime batch normally tunes --
+        # tile shapes and the query gather path -- is pinned to
+        # batch-independent choices, so the float accumulation order,
+        # and hence every output column, is identical whether a request
+        # runs alone or coalesced into a micro-batch.
         if tiles is None:
-            tiles = choose_tiles(m, groups, self.mu, batch, itemsize=dtype.itemsize)
+            tile_batch = (
+                self._INVARIANT_TILE_BATCH if self.batch_invariant else batch
+            )
+            tiles = choose_tiles(
+                m, groups, self.mu, tile_batch, itemsize=dtype.itemsize
+            )
+        if self.batch_invariant and query_impl == "auto":
+            query_impl = "loop"
+        if self.batch_invariant and builder == "auto":
+            # The batched-BLAS table construction reduces in a
+            # batch-width-dependent order; Algorithm 1's DP builder adds
+            # per column in a fixed order regardless of batch.
+            builder = "dp"
         build_fn = self._resolve_builder(builder, batch)
 
         y = np.zeros((m, batch), dtype=dtype)

@@ -150,7 +150,16 @@ def build_tables_dp(xhat: np.ndarray, *, use_symmetry: bool = True) -> np.ndarra
     q = _validate_xhat(xhat)
     groups, mu, b = q.shape
     out = np.empty((groups, 1 << mu, b), dtype=q.dtype)
-    out[:, 0, :] = -q.sum(axis=1)
+    # Entry 0 is -(sum of the sub-vector).  Folded explicitly rather
+    # than with q.sum(axis=1): np.add.reduce picks a pairwise or
+    # sequential order depending on the array's strides (batch width),
+    # which would make table values -- and thus served layer outputs --
+    # depend on how many columns share the call.  The explicit fold is
+    # order-fixed for every batch size (serving batch-invariance).
+    base = np.negative(q[:, 0, :])
+    for j in range(1, mu):
+        base -= q[:, j, :]
+    out[:, 0, :] = base
     limit = mu - 1 if (use_symmetry and mu >= 1) else mu
     # Doubling: after step s the first 2^s entries cover all sign
     # patterns of the last s coordinates (others at -1).

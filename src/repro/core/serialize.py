@@ -40,6 +40,7 @@ from repro.core.keys import KeyMatrix
 __all__ = [
     "load_engine",
     "load_model_artifact",
+    "load_model_manifest",
     "save_engine",
     "save_model_artifact",
 ]
@@ -68,6 +69,11 @@ def save_engine(engine, path: str | Path) -> None:
             alphas=engine.alphas,
             mu=np.int64(engine.mu),
             n=np.int64(engine.shape[1]),
+            # Execution-mode flag, not weight state: layer/serving
+            # engines run batch-invariant and a reload must keep
+            # producing bit-identical outputs.  Optional on load, so
+            # pre-flag files keep working.
+            batch_invariant=np.bool_(engine.batch_invariant),
         )
         return
     from repro.engine import engine_entry
@@ -115,7 +121,10 @@ def load_engine(path: str | Path):
                 km = KeyMatrix(
                     keys=data["keys"], mu=int(data["mu"]), n=int(data["n"])
                 )
-                return BiQGemm(km, alphas=data["alphas"])
+                engine = BiQGemm(km, alphas=data["alphas"])
+                if "batch_invariant" in data.files:
+                    engine.batch_invariant = bool(data["batch_invariant"])
+                return engine
             if version == _REGISTRY_FORMAT_VERSION:
                 from repro.engine import engine_entry
 
@@ -229,31 +238,50 @@ def load_model_artifact(
     """
     path = _resolve_artifact_path(path)
     with np.load(path) as data:
-        try:
-            version = int(data["format_version"])
-        except KeyError as exc:
-            raise ValueError(
-                f"{path} is not a serialized artifact (missing field {exc})"
-            ) from exc
-        if version != _MODEL_FORMAT_VERSION:
-            raise ValueError(
-                f"{path} has format version {version}, not a whole-model "
-                f"artifact (version {_MODEL_FORMAT_VERSION}); "
-                "single-engine files load with repro.core.serialize."
-                "load_engine"
-            )
-        if "manifest" not in data.files:
-            raise ValueError(f"{path}: corrupted model artifact, no manifest")
-        try:
-            manifest = json.loads(bytes(data["manifest"].tobytes()))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError(
-                f"{path}: corrupted model manifest ({exc})"
-            ) from exc
-        _validate_manifest(manifest)
+        manifest = _read_manifest(data, path)
         arrays = {
             name: data[name]
             for name in data.files
             if name not in ("format_version", "manifest")
         }
     return manifest, arrays
+
+
+def load_model_manifest(path: str | Path) -> dict:
+    """Read only the JSON manifest of a version-3 artifact.
+
+    The cheap peek for registries and serving stores
+    (:class:`repro.serve.ModelStore`): config, structure and per-layer
+    plans without decompressing any engine payload.  Validation is the
+    same as :func:`load_model_artifact`'s.
+    """
+    path = _resolve_artifact_path(path)
+    with np.load(path) as data:
+        return _read_manifest(data, path)
+
+
+def _read_manifest(data, path) -> dict:
+    """Shared version check + manifest decode over an open ``.npz``."""
+    try:
+        version = int(data["format_version"])
+    except KeyError as exc:
+        raise ValueError(
+            f"{path} is not a serialized artifact (missing field {exc})"
+        ) from exc
+    if version != _MODEL_FORMAT_VERSION:
+        raise ValueError(
+            f"{path} has format version {version}, not a whole-model "
+            f"artifact (version {_MODEL_FORMAT_VERSION}); "
+            "single-engine files load with repro.core.serialize."
+            "load_engine"
+        )
+    if "manifest" not in data.files:
+        raise ValueError(f"{path}: corrupted model artifact, no manifest")
+    try:
+        manifest = json.loads(bytes(data["manifest"].tobytes()))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(
+            f"{path}: corrupted model manifest ({exc})"
+        ) from exc
+    _validate_manifest(manifest)
+    return manifest

@@ -45,6 +45,7 @@ from repro.engine.registry import (
 from repro.engine import adapters as _adapters  # populate the registry
 from repro.engine.dispatch import (
     batch_bucket,
+    batch_buckets,
     clear_plan_cache,
     crossover_batch,
     dispatch,
@@ -65,6 +66,7 @@ __all__ = [
     "MatmulEngine",
     "QuantSpec",
     "batch_bucket",
+    "batch_buckets",
     "build_engine",
     "clear_plan_cache",
     "crossover_batch",

@@ -105,7 +105,15 @@ def _bcq_from_state(state: Mapping) -> BCQTensor:
 # biqgemm -- the paper's kernel, protocol-native
 # ----------------------------------------------------------------------
 def _build_biqgemm(request: EngineBuildRequest) -> BiQGemm:
-    return BiQGemm.from_bcq(request.get_bcq(), mu=request.spec.mu)
+    engine = BiQGemm.from_bcq(request.get_bcq(), mu=request.spec.mu)
+    # Layer engines are batch-invariant by contract: the serving layer
+    # coalesces requests and splits outputs per request, and those must
+    # be bit-identical to a direct CompiledModel call -- so the whole
+    # layer stack, not just serving replicas, pins the deterministic
+    # (DP-builder / loop-query) execution.  Direct kernel users keep
+    # the measured-faster per-batch heuristics.
+    engine.batch_invariant = True
+    return engine
 
 
 def _export_biqgemm(engine: BiQGemm) -> dict:
@@ -123,7 +131,9 @@ def _restore_biqgemm(state: Mapping) -> BiQGemm:
     km = KeyMatrix(
         keys=np.asarray(state["keys"]), mu=int(state["mu"]), n=int(state["n"])
     )
-    return BiQGemm(km, alphas=np.asarray(state["alphas"]))
+    engine = BiQGemm(km, alphas=np.asarray(state["alphas"]))
+    engine.batch_invariant = True
+    return engine
 
 
 register_engine(

@@ -26,6 +26,7 @@ defines:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Literal, Protocol, runtime_checkable
 
@@ -144,6 +145,11 @@ class EngineBuildRequest:
     spec: QuantSpec
     weight: np.ndarray | None = None
     bcq: BCQTensor | None = field(default=None)
+    # Serving replicas share one request across worker threads; the lock
+    # keeps the lazy BCQ solve single-flight.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.weight is None and self.bcq is None:
@@ -164,11 +170,14 @@ class EngineBuildRequest:
         return self.bcq.shape  # type: ignore[union-attr]
 
     def get_bcq(self) -> BCQTensor:
-        """The BCQ quantization, solving it on first access."""
+        """The BCQ quantization, solving it (once, thread-safely) on
+        first access."""
         if self.bcq is None:
-            self.bcq = bcq_quantize(
-                self.weight, self.spec.bits, method=self.spec.method
-            )
+            with self._lock:
+                if self.bcq is None:
+                    self.bcq = bcq_quantize(
+                        self.weight, self.spec.bits, method=self.spec.method
+                    )
         return self.bcq
 
     def get_weight(self) -> np.ndarray:

@@ -43,6 +43,7 @@ from repro.hw.machine import MACHINES, MachineConfig
 
 __all__ = [
     "batch_bucket",
+    "batch_buckets",
     "clear_plan_cache",
     "crossover_batch",
     "dispatch",
@@ -88,6 +89,20 @@ def batch_bucket(batch: int) -> int:
     """
     check_positive_int(batch, "batch")
     return 1 << (batch - 1).bit_length()
+
+
+def batch_buckets(max_batch: int = 1024) -> tuple[int, ...]:
+    """All plan-cache bucket boundaries up to ``batch_bucket(max_batch)``.
+
+    The serving layer coalesces micro-batches toward these targets
+    (:class:`repro.serve.Batcher`): a batch released exactly at a bucket
+    boundary shares its plan-cache line -- and its cost-model pricing --
+    with every other batch in the bucket, so the batcher and the planner
+    agree about which regime is being served.
+    """
+    check_positive_int(max_batch, "max_batch")
+    top = batch_bucket(max_batch)
+    return tuple(1 << i for i in range(top.bit_length()))
 
 
 def _resolve_machine(machine: str | MachineConfig | None) -> MachineConfig:

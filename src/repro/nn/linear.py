@@ -34,6 +34,7 @@ silently coerced to float64).
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import fields, replace
 
@@ -223,6 +224,7 @@ class QuantLinear:
             self._request.release_weight()
         self._shape = (int(w.shape[0]), int(w.shape[1]))
         self._engines: dict[str, MatmulEngine] = {}
+        self._build_lock = threading.Lock()
 
     @classmethod
     def from_engine(
@@ -256,6 +258,7 @@ class QuantLinear:
         )
         obj._shape = (int(m), int(n))
         obj._engines = {spec.backend: engine}
+        obj._build_lock = threading.Lock()
         return obj
 
     def with_spec(self, spec: QuantSpec) -> "QuantLinear":
@@ -292,6 +295,27 @@ class QuantLinear:
         )
         obj._shape = self._shape
         obj._engines = {}
+        obj._build_lock = threading.Lock()
+        return obj
+
+    def clone_shared(self) -> "QuantLinear":
+        """A layer sharing this one's compiled engines and quantized
+        state, with independent mutable bookkeeping.
+
+        The serving replica path (:meth:`repro.api.CompiledModel.clone`):
+        compiled engines are immutable after build and their ``matmul``
+        holds no per-call state, so replicas can share them -- but each
+        replica gets its own engine dict and build lock, so a worker
+        thread lazily compiling an additional backend never mutates a
+        dict another thread is reading.
+        """
+        obj = QuantLinear.__new__(QuantLinear)
+        obj.bias = self.bias
+        obj.spec = self.spec
+        obj._request = self._request
+        obj._shape = self._shape
+        obj._engines = dict(self._engines)
+        obj._build_lock = threading.Lock()
         return obj
 
     @property
@@ -360,17 +384,27 @@ class QuantLinear:
         return tuple(sorted(self._engines))
 
     def engine_for(self, batch: int = 1) -> MatmulEngine:
-        """The compiled engine serving *batch* columns (built on demand)."""
+        """The compiled engine serving *batch* columns (built on demand).
+
+        Thread-safe: concurrent callers racing on a cold backend build
+        it exactly once (double-checked under the layer's build lock),
+        so serving workers can share a layer without duplicating the
+        compile or tearing the engine dict.
+        """
         name = self.planned_backend(batch)
         engine = self._engines.get(name)
         if engine is None:
-            if self._request is None:
-                raise ValueError(
-                    f"layer restored from a compiled artifact serves only "
-                    f"{self.compiled_backends}; cannot build {name!r}"
-                )
-            engine = build_engine(name, self._request)
-            self._engines[name] = engine
+            with self._build_lock:
+                engine = self._engines.get(name)
+                if engine is None:
+                    if self._request is None:
+                        raise ValueError(
+                            f"layer restored from a compiled artifact "
+                            f"serves only {self.compiled_backends}; "
+                            f"cannot build {name!r}"
+                        )
+                    engine = build_engine(name, self._request)
+                    self._engines[name] = engine
         return engine
 
     @property

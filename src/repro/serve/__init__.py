@@ -1,0 +1,61 @@
+"""Dynamic-batching inference runtime over compiled model artifacts.
+
+BiQGEMM's advantage is an amortization advantage: lookup-table
+construction is a fixed per-call cost that pays off when many input
+columns share it (paper Section III), and every crossover the
+:mod:`repro.engine` planner prices is batch-dependent.  This package is
+the deployment shape that implies -- a serving runtime that *creates*
+the batches the kernels want by coalescing concurrent single requests
+into plan-cache-aligned micro-batches:
+
+- :class:`ModelStore` -- named+versioned compiled models loaded from v3
+  artifacts, LRU memory budgeting, atomic hot-swap on reload;
+- :class:`Batcher` -- bounded request queue with dynamic micro-batching
+  toward :func:`repro.engine.batch_buckets` targets (wait at most
+  ``max_latency_ms``), backpressure via :class:`QueueFullError`;
+- :class:`WorkerPool` -- worker threads on warmed
+  :meth:`~repro.api.CompiledModel.clone` replicas;
+- :class:`Server` -- synchronous in-process frontend plus a stdlib
+  ``http.server`` JSON API (``/predict``, ``/models``, ``/healthz``,
+  ``/metrics``);
+- :mod:`~repro.serve.telemetry` -- latency quantiles, queue depth,
+  batch-size distribution, LUT-amortization ratio.
+
+Quick start (see also ``examples/serve_http.py`` and ``python -m
+repro.serve --help``)::
+
+    from repro.api import QuantConfig, quantize
+    compiled = quantize(model, QuantConfig(bits=3)).compile(batch_hint=1)
+    server = compiled.serve(workers=2, max_batch=64)   # started
+    y = server.predict("default", x)                   # coalesced
+    server.serve_http(port=8000)                       # same, over HTTP
+    server.stop()
+"""
+
+from repro.serve.batcher import (
+    Batch,
+    Batcher,
+    BatcherClosed,
+    PendingRequest,
+    QueueFullError,
+)
+from repro.serve.pool import WorkerPool
+from repro.serve.server import ServeConfig, Server
+from repro.serve.store import ModelNotFound, ModelStore, StoredModel
+from repro.serve.telemetry import Histogram, ModelTelemetry
+
+__all__ = [
+    "Batch",
+    "Batcher",
+    "BatcherClosed",
+    "Histogram",
+    "ModelNotFound",
+    "ModelStore",
+    "ModelTelemetry",
+    "PendingRequest",
+    "QueueFullError",
+    "ServeConfig",
+    "Server",
+    "StoredModel",
+    "WorkerPool",
+]

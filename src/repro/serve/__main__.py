@@ -1,0 +1,108 @@
+"""Serve v3 model artifacts over HTTP from the command line.
+
+::
+
+    python -m repro.serve model.npz --name encoder --port 8000
+
+loads the artifact into a :class:`~repro.serve.ModelStore`, starts the
+dynamic-batching worker pool, and blocks on the JSON/HTTP frontend
+(``POST /predict``, ``GET /models /healthz /metrics``) until
+interrupted.  Multiple artifacts serve side by side::
+
+    python -m repro.serve a.npz b.npz --name model-a --name model-b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve import ServeConfig, Server
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=(
+            "Dynamic-batching HTTP inference server over compiled "
+            "whole-model artifacts (repro.api.save)."
+        ),
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        help="v3 whole-model artifact path(s) (.npz from repro.api.save)",
+    )
+    parser.add_argument(
+        "--name",
+        action="append",
+        default=None,
+        help=(
+            "model name for the matching artifact (repeatable; defaults "
+            "to 'default' for one artifact, artifact stems otherwise)"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-latency-ms", type=float, default=5.0)
+    parser.add_argument("--max-queue", type=int, default=256)
+    parser.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="optional LRU memory budget for resident compiled weights",
+    )
+    return parser
+
+
+def _names(args: argparse.Namespace) -> list[str]:
+    if args.name:
+        if len(args.name) != len(args.artifacts):
+            raise SystemExit(
+                f"got {len(args.artifacts)} artifact(s) but "
+                f"{len(args.name)} --name flag(s)"
+            )
+        return list(args.name)
+    if len(args.artifacts) == 1:
+        return ["default"]
+    from pathlib import Path
+
+    return [Path(p).stem for p in args.artifacts]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServeConfig(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_latency_ms=args.max_latency_ms,
+        max_queue=args.max_queue,
+        budget_bytes=(
+            int(args.budget_mb * 1e6) if args.budget_mb is not None else None
+        ),
+    )
+    server = Server(config=config)
+    for name, path in zip(_names(args), args.artifacts):
+        server.add_model(name, path)
+        print(f"loaded {name!r} from {path}", flush=True)
+    server.start()
+    print(
+        f"serving {len(args.artifacts)} model(s) on "
+        f"http://{args.host}:{args.port} "
+        f"(workers={config.workers}, max_batch={config.max_batch}, "
+        f"max_latency_ms={config.max_latency_ms})",
+        flush=True,
+    )
+    try:
+        server.serve_http(args.host, args.port, block=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

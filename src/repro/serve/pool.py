@@ -1,0 +1,101 @@
+"""Worker threads executing coalesced batches on pinned model replicas.
+
+Each worker owns a warmed :class:`~repro.api.CompiledModel` replica
+(:meth:`~repro.api.CompiledModel.clone`: compiled engines shared,
+mutable bookkeeping private), pulls batches from the
+:class:`~repro.serve.batcher.Batcher`, runs the model once per batch,
+and splits the outputs back per request.  numpy's kernels release the
+GIL for large blocks, so two workers overlap usefully even in-process;
+the per-replica engine dicts mean they never contend on layer state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro._util import check_positive_int
+from repro.api.model import CompiledModel
+from repro.serve.batcher import Batch, Batcher
+
+__all__ = ["WorkerPool"]
+
+_IDLE_POLL_SECONDS = 0.1
+
+
+class WorkerPool:
+    """N daemon threads serving one model from one batcher."""
+
+    def __init__(
+        self,
+        compiled: CompiledModel,
+        batcher: Batcher,
+        *,
+        workers: int = 2,
+        name: str = "model",
+    ):
+        check_positive_int(workers, "workers")
+        self.batcher = batcher
+        self.name = name
+        self.workers = workers
+        self._compiled = compiled
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def start(self) -> "WorkerPool":
+        """Warm the engines, clone one replica per worker, start
+        serving."""
+        if self._threads:
+            raise RuntimeError("worker pool is already started")
+        self._stop.clear()
+        replicas = self._compiled.replicate(self.workers)
+        for i, replica in enumerate(replicas):
+            thread = threading.Thread(
+                target=self._run,
+                args=(replica,),
+                name=f"repro-serve-{self.name}-{i}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def _run(self, replica: CompiledModel) -> None:
+        while not self._stop.is_set():
+            batch = self.batcher.next_batch(timeout=_IDLE_POLL_SECONDS)
+            if batch is None:
+                continue
+            self._execute(replica, batch)
+
+    def _execute(self, replica: CompiledModel, batch: Batch) -> None:
+        telemetry = self.batcher.telemetry
+        try:
+            outputs = replica(batch.stacked())
+            done = time.monotonic()
+            batch.resolve(outputs)
+        except BaseException as exc:  # noqa: BLE001 -- must reach callers
+            batch.fail(exc)
+            for _ in batch.requests:
+                telemetry.record_result(0.0, ok=False)
+            return
+        for request in batch.requests:
+            telemetry.record_result(done - request.enqueue_time, ok=True)
+
+    def stop(self, timeout: float = 5.0, *, drain: bool = False) -> None:
+        """Close the batcher and join the workers.
+
+        With ``drain=True`` (hot-swap, eviction) admission stops first
+        and the workers finish everything already queued before the
+        batcher closes, so no in-flight request is dropped.
+        """
+        if drain:
+            self.batcher.seal(timeout)
+        self._stop.set()
+        self.batcher.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        return any(t.is_alive() for t in self._threads)

@@ -1,0 +1,433 @@
+"""Serving frontends: in-process calls and a minimal JSON/HTTP surface.
+
+:class:`Server` wires the pieces together -- a
+:class:`~repro.serve.store.ModelStore` of compiled models, one
+:class:`~repro.serve.batcher.Batcher` +
+:class:`~repro.serve.pool.WorkerPool` runtime per model -- behind a
+synchronous :meth:`Server.predict`.  :meth:`Server.serve_http` exposes
+the same surface over a stdlib ``http.server`` JSON API (no third-party
+dependencies, matching this repo's constraint):
+
+- ``POST /predict``  ``{"model": "name", "input": [...]}`` -> output
+- ``GET /models``    registered models and versions
+- ``GET /healthz``   liveness + per-model worker state
+- ``GET /metrics``   telemetry snapshots (latency quantiles, batch
+  sizes, LUT-amortization ratio, queue depth)
+
+Backpressure maps to HTTP 429, unknown models to 404, malformed bodies
+to 400.  The HTTP layer is threaded (one thread per connection), which
+is exactly what the batcher wants: concurrent requests pile into the
+queue and leave as coalesced micro-batches.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.model import CompiledModel, QuantModel
+from repro.serve.batcher import Batcher, BatcherClosed, QueueFullError
+from repro.serve.pool import WorkerPool
+from repro.serve.store import ModelNotFound, ModelStore
+from repro.serve.telemetry import ModelTelemetry
+
+__all__ = ["ServeConfig", "Server"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Per-model serving knobs (one config applies to every model a
+    server hosts).
+
+    ``max_batch=1`` disables coalescing entirely -- every request is
+    served alone, which is the baseline the throughput bench compares
+    against.  ``budget_bytes`` bounds the store's resident compiled
+    weight bytes (LRU eviction).
+    """
+
+    workers: int = 2
+    max_batch: int = 32
+    max_latency_ms: float = 5.0
+    max_queue: int = 256
+    budget_bytes: int | None = None
+    request_timeout_s: float = 30.0
+
+
+@dataclass
+class _ModelRuntime:
+    """The per-model serving machinery."""
+
+    batcher: Batcher
+    pool: WorkerPool
+    telemetry: ModelTelemetry = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.telemetry = self.batcher.telemetry
+
+
+class Server:
+    """Dynamic-batching inference server over compiled model artifacts.
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`::
+
+        server = Server(config=ServeConfig(workers=2, max_batch=64))
+        server.add_model("encoder", "encoder.npz")   # path or model
+        with server:
+            y = server.predict("encoder", x)
+            httpd = server.serve_http(port=8000)     # optional HTTP
+    """
+
+    def __init__(
+        self,
+        store: ModelStore | None = None,
+        *,
+        config: ServeConfig | None = None,
+    ):
+        self.config = config or ServeConfig()
+        self.store = store or ModelStore(
+            budget_bytes=self.config.budget_bytes
+        )
+        # Budget evictions (and explicit store.evict) must also tear
+        # down the serving runtime, or the evicted model keeps serving
+        # and its memory never returns.  Chain rather than clobber: a
+        # caller-supplied hook (or another server sharing this store)
+        # keeps firing.
+        self._chained_on_evict = self.store.on_evict
+        self.store.on_evict = self._on_store_evict
+        self._runtimes: dict[str, _ModelRuntime] = {}
+        self._lock = threading.Lock()
+        self._started = False
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+
+    # -- model management ----------------------------------------------
+    def add_model(
+        self,
+        name: str,
+        source: "CompiledModel | QuantModel | str | Path",
+        *,
+        version: int | None = None,
+    ) -> None:
+        """Register (or hot-swap) a model from an artifact path or an
+        in-process handle.
+
+        When the server is running, the new version's worker pool is
+        started before the old one drains, so the swap drops no
+        requests.
+        """
+        if isinstance(source, (str, Path)):
+            entry = self.store.load(name, source, version=version)
+        else:
+            entry = self.store.add(name, source, version=version)
+        with self._lock:
+            started = self._started
+        # Spawn (and warm) the replacement pool before unhooking the old
+        # one, so a hot-swap never leaves the name unservable.
+        runtime = (
+            self._spawn_runtime(name, entry.compiled) if started else None
+        )
+        unused = old = None
+        with self._lock:
+            # Swap only when we actually hold a replacement: with
+            # runtime=None (server looked stopped), any runtime now in
+            # the map was spawned by a concurrent start() *for the entry
+            # we just registered* -- popping it would leave the model
+            # registered but unservable.
+            if runtime is not None:
+                if self._started and name in self.store:
+                    old = self._runtimes.pop(name, None)
+                    self._runtimes[name] = runtime
+                else:
+                    # stop() (or an eviction) won the race while we were
+                    # warming the pool; don't resurrect a runtime nothing
+                    # will ever tear down.
+                    unused = runtime
+        if unused is not None:
+            unused.pool.stop()
+        if old is not None:
+            # Drain: requests already queued on the old version finish
+            # on it; new requests are already routed to the new pool.
+            old.pool.stop(drain=True)
+
+    def _on_store_evict(self, name: str) -> None:
+        with self._lock:
+            runtime = self._runtimes.pop(name, None)
+        if runtime is not None:
+            runtime.pool.stop(drain=True)
+        if self._chained_on_evict is not None:
+            self._chained_on_evict(name)
+
+    def _spawn_runtime(
+        self, name: str, compiled: CompiledModel
+    ) -> _ModelRuntime:
+        batcher = Batcher(
+            max_batch=self.config.max_batch,
+            max_latency_ms=self.config.max_latency_ms,
+            max_queue=self.config.max_queue,
+        )
+        pool = WorkerPool(
+            compiled, batcher, workers=self.config.workers, name=name
+        )
+        pool.start()
+        return _ModelRuntime(batcher=batcher, pool=pool)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "Server":
+        """Spin up a worker pool for every registered model."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            for meta in self.store.models():
+                name = meta["name"]
+                self._runtimes[name] = self._spawn_runtime(
+                    name, self.store.get(name)
+                )
+        return self
+
+    def stop(self) -> None:
+        """Stop HTTP (if serving), drain and join every worker pool."""
+        self.stop_http()
+        with self._lock:
+            runtimes, self._runtimes = dict(self._runtimes), {}
+            self._started = False
+        for runtime in runtimes.values():
+            runtime.pool.stop()
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- serving -------------------------------------------------------
+    def _runtime(self, name: str) -> _ModelRuntime:
+        with self._lock:
+            if not self._started:
+                raise RuntimeError(
+                    "server is not started; call start() or use it as a "
+                    "context manager"
+                )
+            runtime = self._runtimes.get(name)
+        if runtime is None:
+            # Raises ModelNotFound with the known-names message if the
+            # store has no such model either.
+            self.store.get(name)
+            raise ModelNotFound(
+                f"model {name!r} is registered but has no runtime"
+            )
+        return runtime
+
+    def predict(
+        self,
+        name: str,
+        x: np.ndarray,
+        *,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Serve one request through the model's dynamic batcher.
+
+        *x* is a single request (no batch axis -- e.g. ``(features,)``
+        for an MLP, ``(seq, dim)`` for an encoder); the batcher stacks
+        compatible concurrent requests and splits the outputs back.
+        Raises :class:`~repro.serve.batcher.QueueFullError` under
+        backpressure and :class:`~repro.serve.store.ModelNotFound` for
+        unknown names.
+        """
+        if timeout is None:
+            timeout = self.config.request_timeout_s
+        # A hot-swap can seal the runtime we just resolved (between the
+        # lookup and the submit); re-resolve and retry -- the new pool
+        # is installed before the old one seals, so one retry suffices
+        # (bounded anyway in case the server is stopping for real).
+        for _ in range(3):
+            runtime = self._runtime(name)
+            try:
+                return runtime.batcher.submit(x, timeout)
+            except BatcherClosed:
+                continue
+        raise BatcherClosed(
+            f"model {name!r} is shutting down and admits no requests"
+        )
+
+    # -- observability -------------------------------------------------
+    def models(self) -> list[dict]:
+        return self.store.models()
+
+    def metrics(self) -> dict:
+        """Telemetry snapshot per model plus store-level counters."""
+        with self._lock:
+            runtimes = dict(self._runtimes)
+        return {
+            "models": {
+                name: runtime.telemetry.snapshot()
+                for name, runtime in sorted(runtimes.items())
+            },
+            "store": {
+                "models": len(self.store),
+                "resident_bytes": self.store.total_bytes(),
+                "evictions": self.store.evictions,
+            },
+        }
+
+    def healthz(self) -> dict:
+        with self._lock:
+            runtimes = dict(self._runtimes)
+            started = self._started
+        workers = {
+            name: runtime.pool.running for name, runtime in runtimes.items()
+        }
+        ok = started and all(workers.values())
+        return {
+            "status": "ok" if ok else "unavailable",
+            "started": started,
+            "models": len(runtimes),
+            "workers_alive": workers,
+        }
+
+    # -- HTTP frontend ---------------------------------------------------
+    def serve_http(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        *,
+        block: bool = False,
+    ) -> ThreadingHTTPServer:
+        """Expose this server over HTTP (``port=0`` picks a free port).
+
+        Non-blocking by default: the listener runs on a daemon thread
+        and is torn down by :meth:`stop` / :meth:`stop_http`.  With
+        ``block=True`` the call runs the listener in the calling thread
+        until interrupted.
+        """
+        self.start()
+        handler = _make_handler(self)
+        with self._lock:
+            if self._httpd is not None:
+                raise RuntimeError("HTTP frontend is already running")
+            httpd = _ThreadingServer((host, port), handler)
+            self._httpd = httpd
+            if not block:
+                thread = threading.Thread(
+                    target=httpd.serve_forever,
+                    name="repro-serve-http",
+                    daemon=True,
+                )
+                self._http_thread = thread
+                thread.start()
+        if block:
+            try:
+                httpd.serve_forever()
+            finally:
+                self.stop_http()
+        return httpd
+
+    def stop_http(self) -> None:
+        with self._lock:
+            httpd, self._httpd = self._httpd, None
+            thread, self._http_thread = self._http_thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# the JSON/HTTP handler
+# ----------------------------------------------------------------------
+class _ThreadingServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # socketserver's default listen backlog of 5 resets connections the
+    # moment a burst of concurrent clients arrives -- the exact traffic
+    # shape the batcher exists for.
+    request_queue_size = 128
+
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _make_handler(server: Server):
+    class Handler(BaseHTTPRequestHandler):
+        # Serving logs belong to telemetry, not stderr.
+        def log_message(self, *args) -> None:
+            del args
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
+            if self.path == "/healthz":
+                health = server.healthz()
+                status = 200 if health["status"] == "ok" else 503
+                self._reply(status, health)
+            elif self.path == "/models":
+                self._reply(200, {"models": server.models()})
+            elif self.path == "/metrics":
+                self._reply(200, server.metrics())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802
+            if self.path != "/predict":
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                request = self._read_request()
+            except ValueError as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            try:
+                output = server.predict(request["model"], request["x"])
+            except ModelNotFound as exc:
+                self._reply(404, {"error": str(exc)})
+            except QueueFullError as exc:
+                self._reply(429, {"error": str(exc)})
+            except BatcherClosed as exc:
+                self._reply(503, {"error": str(exc)})
+            except (ValueError, TypeError) as exc:
+                self._reply(400, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001 -- HTTP boundary
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            else:
+                self._reply(
+                    200,
+                    {
+                        "model": request["model"],
+                        "output": np.asarray(output).tolist(),
+                        "shape": list(np.asarray(output).shape),
+                    },
+                )
+
+        def _read_request(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise ValueError("request body is required")
+            if length > _MAX_BODY_BYTES:
+                raise ValueError("request body too large")
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON body: {exc}") from exc
+            if not isinstance(payload, dict) or "input" not in payload:
+                raise ValueError(
+                    'body must be a JSON object with an "input" field'
+                )
+            dtype = payload.get("dtype", "float32")
+            try:
+                x = np.asarray(payload["input"], dtype=np.dtype(dtype))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"invalid input array: {exc}") from exc
+            return {"model": str(payload.get("model", "default")), "x": x}
+
+    return Handler

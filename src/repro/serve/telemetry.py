@@ -1,0 +1,148 @@
+"""Serving observability: what the batcher actually bought us.
+
+BiQGEMM's economics are batch economics -- the lookup tables cost the
+same to build whether 1 or 64 requests share them (paper Section III),
+so the one number that says whether dynamic batching is working is the
+**LUT-amortization ratio**: requests served per model execution, i.e.
+the mean effective batch.  Around it, this module keeps the standard
+serving vitals -- per-model latency quantiles (p50/p95/p99), queue
+depth at admission, the batch-size distribution, and error/rejection
+counters -- all thread-safe, all exported as one JSON-able snapshot for
+the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["Histogram", "ModelTelemetry"]
+
+
+class Histogram:
+    """Bounded-reservoir histogram with exact quantiles over the window.
+
+    Keeps the most recent *window* observations (a serving process runs
+    indefinitely; an unbounded list would not) and reports quantiles
+    over that window plus lifetime count/sum.  Callers hold their own
+    lock -- the class itself is not synchronized.
+    """
+
+    def __init__(self, window: int = 2048):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self._values: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._values.append(value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact *q*-quantile of the retained window (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class ModelTelemetry:
+    """Thread-safe serving metrics for one served model."""
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self.latency = Histogram(window)  # seconds, submit -> result
+        self.queue_depth = Histogram(window)  # sampled at admission
+        self.batch_sizes: dict[int, int] = {}
+        self.requests = 0  # admitted
+        self.served = 0  # completed ok
+        self.errors = 0  # completed with error
+        self.rejected = 0  # refused at admission (backpressure)
+        self.cancelled = 0  # abandoned in queue (caller timed out)
+        self.batches = 0  # model executions
+
+    # -- recording hooks (called by batcher/workers) -------------------
+    def record_enqueue(self, depth: int) -> None:
+        with self._lock:
+            self.requests += 1
+            self.queue_depth.record(depth)
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_cancelled(self, count: int = 1) -> None:
+        with self._lock:
+            self.cancelled += count
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    def record_result(self, latency_seconds: float, ok: bool = True) -> None:
+        with self._lock:
+            if ok:
+                self.served += 1
+                self.latency.record(latency_seconds)
+            else:
+                self.errors += 1
+
+    # -- reading -------------------------------------------------------
+    @property
+    def amortization_ratio(self) -> float:
+        """Requests served per model execution (mean effective batch).
+
+        1.0 means every request paid its own LUT build; higher means the
+        batcher is amortizing table construction across requests, which
+        is the whole reason BiQGEMM serving batches.
+        """
+        with self._lock:
+            return self.served / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        """One JSON-able dict for ``/metrics`` (milliseconds for
+        latency)."""
+        with self._lock:
+            lat = self.latency.snapshot()
+            return {
+                "requests": self.requests,
+                "served": self.served,
+                "errors": self.errors,
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+                "batches": self.batches,
+                "lut_amortization_ratio": (
+                    self.served / self.batches if self.batches else 0.0
+                ),
+                "latency_ms": {
+                    "count": lat["count"],
+                    "mean": lat["mean"] * 1e3,
+                    "p50": lat["p50"] * 1e3,
+                    "p95": lat["p95"] * 1e3,
+                    "p99": lat["p99"] * 1e3,
+                },
+                "queue_depth": self.queue_depth.snapshot(),
+                "batch_size_counts": dict(
+                    sorted(self.batch_sizes.items())
+                ),
+            }

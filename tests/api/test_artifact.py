@@ -160,6 +160,47 @@ class TestV3RoundTrip:
             save(compiled, tmp_path / "cell.npz")
 
 
+class TestManifestAccess:
+    def test_load_with_manifest_returns_both(self, tmp_path):
+        from repro.api.artifact import load_with_manifest
+
+        compiled = _compiled_encoder()
+        path = tmp_path / "m.npz"
+        save(compiled, path)
+        loaded, manifest = load_with_manifest(path)
+        assert manifest["repro_version"]
+        assert manifest["batch_hint"] == compiled.batch_hint
+        assert [e["path"] for e in manifest["layers"]] == [
+            name for name, _ in compiled.named_layers()
+        ]
+        x = np.random.default_rng(0).standard_normal((1, 2, 32))
+        assert np.array_equal(loaded(x), compiled(x))
+
+    def test_manifest_only_peek(self, tmp_path):
+        """core.serialize.load_model_manifest: metadata without payload."""
+        from repro.core.serialize import load_model_manifest
+
+        compiled = _compiled_encoder()
+        path = tmp_path / "m.npz"
+        save(compiled, path)
+        manifest = load_model_manifest(path)
+        assert manifest["structure"]["kind"] == "transformer_encoder"
+        assert len(manifest["layers"]) == len(compiled.named_layers())
+
+    def test_manifest_peek_rejects_engine_files(self, rng, tmp_path):
+        from repro.core.serialize import load_model_manifest, save_engine
+        from repro.nn.linear import QuantLinear
+
+        layer = QuantLinear(
+            rng.standard_normal((6, 8)),
+            spec=QuantSpec(bits=2, mu=4, backend="biqgemm"),
+        )
+        path = tmp_path / "engine.npz"
+        save_engine(layer.engine_for(1), path)
+        with pytest.raises(ValueError, match="not a whole-model"):
+            load_model_manifest(path)
+
+
 class TestCorruptionAndFormats:
     def test_corrupted_manifest_rejected(self, tmp_path):
         """Satellite pin: a tampered manifest must fail loudly."""

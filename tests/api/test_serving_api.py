@@ -1,0 +1,125 @@
+"""CompiledModel serving-surface tests: 1-D promotion, clone/replicate,
+serve() entry point."""
+
+import numpy as np
+import pytest
+
+from repro.api import QuantConfig, QuantMLP, quantize
+from repro.nn.linear import Linear
+from repro.nn.model_zoo import build_encoder
+
+
+def _mlp_compiled(seed=0, dims=(6, 10, 4), **compile_kwargs):
+    rng = np.random.default_rng(seed)
+    model = QuantMLP(
+        [
+            Linear(rng.standard_normal((m, n)), rng.standard_normal(m))
+            for n, m in zip(dims[:-1], dims[1:])
+        ]
+    )
+    return quantize(model, QuantConfig(bits=2, mu=4)).compile(
+        **compile_kwargs
+    )
+
+
+class TestVectorPromotion:
+    def test_1d_input_promoted_and_squeezed(self):
+        compiled = _mlp_compiled()
+        x = np.random.default_rng(1).standard_normal(6)
+        out = compiled(x)
+        assert out.shape == (4,)
+        assert np.array_equal(out, compiled(x[None])[0])
+
+    def test_2d_input_unchanged(self):
+        compiled = _mlp_compiled()
+        x = np.random.default_rng(2).standard_normal((3, 6))
+        assert compiled(x).shape == (3, 4)
+
+    def test_dtype_preserved_through_promotion(self):
+        compiled = _mlp_compiled()
+        x = np.random.default_rng(3).standard_normal(6).astype(np.float32)
+        assert compiled(x).dtype == np.float32
+
+
+class TestCloneReplicate:
+    def test_clone_outputs_identical(self):
+        compiled = _mlp_compiled().warmup()
+        replica = compiled.clone()
+        x = np.random.default_rng(4).standard_normal((5, 6))
+        assert np.array_equal(replica(x), compiled(x))
+
+    def test_clone_shares_engines_not_layers(self):
+        compiled = _mlp_compiled(batch_hint=1).warmup()
+        replica = compiled.clone()
+        for (name_a, a), (name_b, b) in zip(
+            compiled.named_layers(), replica.named_layers()
+        ):
+            assert name_a == name_b
+            assert a is not b
+            assert a.engine_for(1) is b.engine_for(1)
+            assert a.bias is b.bias  # immutable state is shared
+
+    def test_clone_structure_is_independent(self):
+        encoder = build_encoder(
+            "transformer-base", scale=16, layers=2, seed=0
+        )
+        compiled = quantize(encoder, QuantConfig(bits=2, mu=4)).compile(
+            batch_hint=1
+        )
+        replica = compiled.clone()
+        assert replica.model is not compiled.model
+        assert replica.model.layers[0] is not compiled.model.layers[0]
+        x = np.random.default_rng(5).standard_normal((1, 3, 32))
+        assert np.array_equal(replica(x), compiled(x))
+
+    def test_clone_shares_non_layer_arrays(self):
+        compiled = _mlp_compiled().warmup()
+        # Stand-in for a large read-only buffer outside the quantized
+        # layers (an embedding table, say).
+        compiled.model.embedding = np.arange(64.0).reshape(8, 8)
+        replica = compiled.clone()
+        assert replica.model.embedding is compiled.model.embedding
+
+    def test_clone_survives_recompile_of_original(self):
+        compiled = _mlp_compiled(batch_hint=1)
+        replica = compiled.clone()
+        # Re-compiling the original supersedes *it*, not the replica.
+        compiled._qm.compile(batch_hint=64)
+        with pytest.raises(ValueError, match="superseded"):
+            compiled(np.ones((1, 6)))
+        assert replica(np.ones((1, 6))).shape == (1, 4)
+
+    def test_replicate_warms_and_counts(self):
+        compiled = _mlp_compiled(batch_hint=1)
+        replicas = compiled.replicate(3)
+        assert len(replicas) == 3
+        for replica in replicas:
+            for _, layer in replica.named_layers():
+                assert layer.compiled_backends  # warmed before cloning
+
+    def test_replicate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _mlp_compiled().replicate(0)
+
+
+class TestServeEntryPoint:
+    def test_serve_returns_started_server(self):
+        compiled = _mlp_compiled()
+        server = compiled.serve(workers=1, max_batch=4, max_latency_ms=2.0)
+        try:
+            assert server.healthz()["status"] == "ok"
+            x = np.random.default_rng(6).standard_normal(6)
+            assert np.array_equal(
+                server.predict("default", x), compiled(x)
+            )
+        finally:
+            server.stop()
+
+    def test_serve_custom_name(self):
+        compiled = _mlp_compiled()
+        server = compiled.serve("prod", workers=1, max_latency_ms=2.0)
+        try:
+            (meta,) = server.models()
+            assert meta["name"] == "prod"
+        finally:
+            server.stop()

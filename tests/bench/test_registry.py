@@ -27,7 +27,7 @@ class TestRegistry:
             "fig8", "fig9", "fig10",
             "mu", "lut_build", "tiling", "threads",
             "models", "shared", "cache", "qat",
-            "dispatch", "model_compile",
+            "dispatch", "model_compile", "serve",
         }
         assert expected == set(EXPERIMENTS)
 

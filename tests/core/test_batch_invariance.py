@@ -1,0 +1,79 @@
+"""Batch-invariance of layer engines (the serving numerics contract).
+
+A request served alone and the same request coalesced into a
+micro-batch must produce bit-identical outputs
+(:mod:`repro.serve.batcher` splits batches back per request).  BiQGemm
+guarantees this in ``batch_invariant`` mode by pinning every
+batch-tuned knob: tile selection, the ``"auto"`` query path, and the
+``"auto"`` table builder (plus the order-fixed fold in
+:func:`repro.core.lut.build_tables_dp`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import BiQGemm
+from repro.core.lut import build_tables_dp, reshape_input
+from repro.core.serialize import load_engine, save_engine
+from repro.engine import EngineBuildRequest, QuantSpec, build_engine
+from repro.quant.bcq import bcq_quantize
+
+
+@pytest.fixture()
+def weight(rng):
+    return rng.standard_normal((20, 24))
+
+
+def _engine(weight, invariant):
+    engine = BiQGemm.from_bcq(bcq_quantize(weight, 3), mu=4)
+    engine.batch_invariant = invariant
+    return engine
+
+
+class TestKernelInvariance:
+    @pytest.mark.parametrize(
+        "dtype", [np.float64, np.float32, np.float16]
+    )
+    def test_column_results_independent_of_batch(self, rng, weight, dtype):
+        engine = _engine(weight, True)
+        x = rng.standard_normal((24, 16)).astype(dtype)
+        full = engine.matmul(x)
+        for b in (1, 2, 3, 7, 16):
+            part = engine.matmul(np.ascontiguousarray(x[:, :b]))
+            assert np.array_equal(part, full[:, :b]), (dtype, b)
+
+    def test_vector_call_matches_batched_column(self, rng, weight):
+        engine = _engine(weight, True)
+        x = rng.standard_normal((24, 5)).astype(np.float32)
+        assert np.array_equal(
+            engine.matmul(np.ascontiguousarray(x[:, 0])),
+            engine.matmul(x)[:, 0],
+        )
+
+    def test_dp_builder_fold_is_stride_independent(self, rng):
+        x8 = rng.standard_normal((24, 8)).astype(np.float32)
+        x1 = np.ascontiguousarray(x8[:, :1])
+        t1 = build_tables_dp(reshape_input(x1, 4))
+        t8 = build_tables_dp(reshape_input(x8, 4))
+        assert np.array_equal(t1[..., 0], t8[..., 0])
+
+
+class TestModeWiring:
+    def test_registry_build_enables_invariance(self, weight):
+        request = EngineBuildRequest(
+            spec=QuantSpec(bits=2, mu=4, backend="biqgemm"), weight=weight
+        )
+        assert build_engine("biqgemm", request).batch_invariant is True
+
+    def test_direct_kernel_default_keeps_heuristics(self, weight):
+        assert _engine(weight, False).batch_invariant is False
+
+    def test_flag_survives_v1_round_trip(self, weight, rng, tmp_path):
+        for invariant in (False, True):
+            engine = _engine(weight, invariant)
+            path = tmp_path / f"engine_{invariant}.npz"
+            save_engine(engine, path)
+            loaded = load_engine(path)
+            assert loaded.batch_invariant is invariant
+            x = rng.standard_normal((24, 3)).astype(np.float32)
+            assert np.array_equal(loaded.matmul(x), engine.matmul(x))

@@ -1,0 +1,188 @@
+"""HTTP frontend tests: the four endpoints, error mapping, concurrency."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import QuantConfig, QuantMLP, quantize
+from repro.nn.linear import Linear
+from repro.serve import ServeConfig, Server
+
+
+def _mlp(seed=0, dims=(6, 10, 4)):
+    rng = np.random.default_rng(seed)
+    return QuantMLP(
+        [
+            Linear(rng.standard_normal((m, n)), rng.standard_normal(m))
+            for n, m in zip(dims[:-1], dims[1:])
+        ]
+    )
+
+
+@pytest.fixture()
+def http_server():
+    compiled = quantize(_mlp(), QuantConfig(bits=2, mu=4)).compile()
+    server = Server(
+        config=ServeConfig(workers=2, max_batch=8, max_latency_ms=5.0)
+    )
+    server.add_model("mlp", compiled)
+    httpd = server.serve_http(port=0)  # ephemeral port
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    yield server, base, compiled
+    server.stop()
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(base, path, payload, timeout=30):
+    data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_predict_matches_local_execution(self, http_server):
+        server, base, compiled = http_server
+        x = np.random.default_rng(1).standard_normal(6).astype(np.float32)
+        status, body = _post(
+            base, "/predict", {"model": "mlp", "input": x.tolist()}
+        )
+        assert status == 200
+        assert body["model"] == "mlp"
+        assert body["shape"] == [4]
+        expected = compiled(x)
+        assert np.allclose(body["output"], expected, rtol=0, atol=0)
+
+    def test_predict_dtype_field(self, http_server):
+        _, base, compiled = http_server
+        x = np.random.default_rng(2).standard_normal(6)
+        status, body = _post(
+            base,
+            "/predict",
+            {"model": "mlp", "input": x.tolist(), "dtype": "float64"},
+        )
+        assert status == 200
+        assert np.array_equal(body["output"], compiled(x))
+
+    def test_healthz(self, http_server):
+        _, base, _ = http_server
+        status, body = _get(base, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["workers_alive"] == {"mlp": True}
+
+    def test_models(self, http_server):
+        _, base, _ = http_server
+        status, body = _get(base, "/models")
+        assert status == 200
+        (meta,) = body["models"]
+        assert meta["name"] == "mlp"
+        assert meta["backends"]
+
+    def test_metrics_counts_requests(self, http_server):
+        _, base, _ = http_server
+        x = [0.0] * 6
+        for _ in range(3):
+            _post(base, "/predict", {"model": "mlp", "input": x})
+        status, body = _get(base, "/metrics")
+        assert status == 200
+        snap = body["models"]["mlp"]
+        assert snap["served"] >= 3
+        assert snap["lut_amortization_ratio"] > 0
+        assert body["store"]["models"] == 1
+
+
+class TestErrorMapping:
+    def test_unknown_model_404(self, http_server):
+        _, base, _ = http_server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(base, "/predict", {"model": "ghost", "input": [0.0] * 6})
+        assert err.value.code == 404
+
+    def test_bad_json_400(self, http_server):
+        _, base, _ = http_server
+        request = urllib.request.Request(
+            base + "/predict", data=b"this is not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_missing_input_400(self, http_server):
+        _, base, _ = http_server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(base, "/predict", {"model": "mlp"})
+        assert err.value.code == 400
+
+    def test_wrong_width_400(self, http_server):
+        _, base, _ = http_server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(base, "/predict", {"model": "mlp", "input": [0.0] * 5})
+        assert err.value.code == 400
+
+    def test_unknown_path_404(self, http_server):
+        _, base, _ = http_server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, "/nope")
+        assert err.value.code == 404
+
+    def test_empty_body_400(self, http_server):
+        _, base, _ = http_server
+        request = urllib.request.Request(base + "/predict", data=b"")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+
+class TestConcurrentClients:
+    def test_fifty_concurrent_requests_all_succeed(self, http_server):
+        server, base, compiled = http_server
+        rng = np.random.default_rng(3)
+        inputs = [
+            rng.standard_normal(6).astype(np.float32) for _ in range(50)
+        ]
+        expected = [compiled(x) for x in inputs]
+        statuses = [None] * 50
+        outputs = [None] * 50
+
+        def client(i):
+            statuses[i], body = _post(
+                base, "/predict", {"model": "mlp", "input": inputs[i].tolist()}
+            )
+            outputs[i] = np.asarray(body["output"], dtype=np.float32)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(50)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert statuses == [200] * 50
+        for got, want in zip(outputs, expected):
+            assert np.allclose(got, want, rtol=0, atol=1e-6)
+        snap = server.metrics()["models"]["mlp"]
+        assert snap["served"] >= 50
+        # Concurrency actually coalesced: fewer executions than requests.
+        assert snap["batches"] < snap["requests"]
+
+    def test_http_lifecycle_stop_is_clean(self):
+        compiled = quantize(_mlp(), QuantConfig(bits=2, mu=4)).compile()
+        server = Server(config=ServeConfig(workers=1))
+        server.add_model("mlp", compiled)
+        httpd = server.serve_http(port=0)
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        assert _get(base, "/healthz")[0] == 200
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            _get(base, "/healthz")

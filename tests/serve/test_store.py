@@ -1,0 +1,146 @@
+"""ModelStore tests: name+version registry, LRU budget, hot-swap."""
+
+import numpy as np
+import pytest
+
+from repro.api import QuantConfig, QuantMLP, quantize, save
+from repro.nn.linear import Linear
+from repro.serve import ModelNotFound, ModelStore
+
+
+def _compiled(seed=0, m=8, n=6, bits=2):
+    rng = np.random.default_rng(seed)
+    model = QuantMLP([Linear(rng.standard_normal((m, n)))])
+    qm = quantize(model, QuantConfig(bits=bits, backend="biqgemm"))
+    return qm.compile(batch_hint=1)
+
+
+@pytest.fixture()
+def artifact(tmp_path):
+    compiled = _compiled(seed=1)
+    path = tmp_path / "model.npz"
+    save(compiled, path)
+    return path, compiled
+
+
+class TestRegistry:
+    def test_add_and_get(self):
+        store = ModelStore()
+        compiled = _compiled()
+        entry = store.add("m", compiled)
+        assert entry.version == 1
+        assert store.get("m") is compiled
+        assert "m" in store and len(store) == 1
+
+    def test_load_artifact_by_path(self, artifact):
+        path, original = artifact
+        store = ModelStore()
+        entry = store.load("enc", path)
+        assert entry.source == str(path)
+        assert entry.repro_version is not None
+        x = np.random.default_rng(2).standard_normal((1, 6))
+        assert np.array_equal(store.get("enc")(x), original(x))
+
+    def test_load_missing_path(self, tmp_path):
+        store = ModelStore()
+        with pytest.raises(FileNotFoundError):
+            store.load("m", tmp_path / "nope.npz")
+
+    def test_unknown_name(self):
+        store = ModelStore()
+        with pytest.raises(ModelNotFound, match="registered"):
+            store.get("ghost")
+
+    def test_evict(self):
+        store = ModelStore()
+        store.add("m", _compiled())
+        store.evict("m")
+        assert "m" not in store
+        with pytest.raises(ModelNotFound):
+            store.evict("m")
+
+    def test_models_metadata(self, artifact):
+        path, _ = artifact
+        store = ModelStore()
+        store.load("enc", path)
+        (meta,) = store.models()
+        assert meta["name"] == "enc"
+        assert meta["version"] == 1
+        assert meta["weight_bytes"] > 0
+        assert meta["backends"] == ["biqgemm"]
+
+    def test_quant_model_is_compiled_on_add(self):
+        rng = np.random.default_rng(3)
+        qm = quantize(
+            QuantMLP([Linear(rng.standard_normal((4, 5)))]),
+            QuantConfig(bits=2),
+        )
+        store = ModelStore()
+        entry = store.add("m", qm)
+        assert entry.compiled.plans  # planned + pinned
+
+    def test_rejects_non_models(self):
+        with pytest.raises(TypeError):
+            ModelStore().add("m", object())
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ModelStore().add("", _compiled())
+
+
+class TestHotSwap:
+    def test_reload_bumps_version_and_swaps(self):
+        store = ModelStore()
+        first = _compiled(seed=1)
+        second = _compiled(seed=2)
+        store.add("m", first)
+        entry = store.add("m", second)
+        assert entry.version == 2
+        assert store.get("m") is second
+        assert len(store) == 1
+
+    def test_old_handle_keeps_serving_after_swap(self):
+        store = ModelStore()
+        first = _compiled(seed=1)
+        store.add("m", first)
+        old = store.get("m")
+        store.add("m", _compiled(seed=2))
+        x = np.random.default_rng(4).standard_normal((1, 6))
+        # In-flight users of the superseded entry are undisturbed.
+        assert old(x).shape == (1, 8)
+
+    def test_explicit_version_pin(self):
+        store = ModelStore()
+        entry = store.add("m", _compiled(), version=7)
+        assert entry.version == 7
+        assert store.add("m", _compiled()).version == 8
+
+
+class TestLRUBudget:
+    def test_eviction_drops_least_recently_used(self):
+        a, b, c = (_compiled(seed=s) for s in (1, 2, 3))
+        per_model = a.weight_nbytes
+        store = ModelStore(budget_bytes=2 * per_model)
+        store.add("a", a)
+        store.add("b", b)
+        store.get("a")  # touch a: b becomes LRU
+        store.add("c", c)
+        assert "a" in store and "c" in store
+        assert "b" not in store
+        assert store.evictions == 1
+
+    def test_newest_model_never_self_evicts(self):
+        compiled = _compiled()
+        store = ModelStore(budget_bytes=1)  # tighter than any model
+        store.add("only", compiled)
+        assert "only" in store  # over budget but resident
+
+    def test_total_bytes(self):
+        store = ModelStore()
+        compiled = _compiled()
+        store.add("m", compiled)
+        assert store.total_bytes() == compiled.weight_nbytes
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            ModelStore(budget_bytes=0)
