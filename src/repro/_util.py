@@ -14,10 +14,51 @@ import numpy as np
 __all__ = [
     "as_2d_float",
     "check_binary",
+    "check_matmul_out",
     "check_positive_int",
     "ceil_div",
     "pad_axis",
 ]
+
+
+def check_matmul_out(
+    out: np.ndarray,
+    m: int,
+    batch: int,
+    dtype,
+    x: np.ndarray,
+    vector_in: bool,
+) -> np.ndarray:
+    """Validate a ``matmul_into`` destination; returns its 2-D view.
+
+    The shared contract of every out-capable engine: exact ``(m,
+    batch)`` shape (``(m,)`` accepted for vector input), exact compute
+    dtype, writable, and no (possible) aliasing with the input -- the
+    engines read *x* while accumulating into *out*.
+    """
+    if not isinstance(out, np.ndarray):
+        raise TypeError(f"out must be an ndarray, got {type(out).__name__}")
+    if vector_in and out.shape == (m,):
+        out2 = out[:, None]
+    elif out.shape == (m, batch):
+        out2 = out
+    else:
+        raise ValueError(
+            f"out must have shape ({m}, {batch})"
+            f"{f' or ({m},)' if vector_in else ''}, got {out.shape}"
+        )
+    if out.dtype != dtype:
+        raise ValueError(
+            f"out dtype {out.dtype} != computation dtype {dtype}"
+        )
+    if not out.flags.writeable:
+        raise ValueError("out must be writeable")
+    if np.may_share_memory(out, x):
+        raise ValueError(
+            "out must not alias x: the kernel accumulates into out "
+            "while reading x"
+        )
+    return out2
 
 
 def as_2d_float(a: np.ndarray, name: str, *, dtype=np.float64) -> np.ndarray:

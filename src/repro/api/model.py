@@ -32,6 +32,7 @@ speaks to both the planner sweeps and real models.
 from __future__ import annotations
 
 import copy
+import threading
 from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
@@ -44,7 +45,8 @@ from repro.api.planner import (
     cost_report,
     plan_layers,
 )
-from repro.engine import QuantSpec
+from repro.core.workspace import Workspace, use_workspace
+from repro.engine import QuantSpec, batch_bucket, batch_buckets
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.conv import QuantConv2d
 from repro.nn.functional import relu
@@ -458,6 +460,22 @@ class CompiledModel:
     re-plans.  ``warmup()`` builds all engines ahead of the first
     request; ``cost_report()`` shows the planner's evidence;
     ``save(path)`` writes the v3 whole-model artifact.
+
+    **Workspace arenas.**  Compilation pre-sizes one
+    :class:`~repro.core.workspace.Workspace` per planned batch bucket
+    (the plan-cache boundaries the serving batcher coalesces toward);
+    every ``__call__`` then serves from the bucket's arena -- layer
+    activations, lookup tables and partial sums come from warm buffers
+    instead of fresh allocations, and the steady state allocates
+    (nearly) nothing.  Outputs handed back to the caller are copied out
+    of the arena, so results stay valid across requests.  Results are
+    bit-identical with arenas on or off; set ``workspaces_enabled =
+    False`` to fall back to allocate-per-call (the pre-arena path, used
+    by the steady-state benchmark as its baseline).  One arena serves
+    one request at a time: concurrent callers of the *same*
+    CompiledModel transparently overflow onto the allocating path --
+    serving replicas (:meth:`clone`) each own their arenas, so worker
+    threads never contend.
     """
 
     def __init__(
@@ -467,6 +485,47 @@ class CompiledModel:
         self._plans = tuple(plans)
         self.batch_hint = int(batch_hint)
         self._generation = quant_model._compile_generation
+        self.workspaces_enabled = True
+        # One arena per planned batch bucket, pre-created for the
+        # buckets at or below the compile hint; larger serve batches
+        # add theirs on first use.
+        self._arenas: dict[int, Workspace] = {
+            bucket: Workspace(name=f"bucket{bucket}")
+            for bucket in batch_buckets(self.batch_hint)
+        }
+        self._arena_guard = threading.Lock()
+        self._forward_lock = threading.Lock()
+
+    def _arena_for(self, batch: int) -> Workspace:
+        """The arena serving *batch*-request calls (bucketed like the
+        plan cache, created on first use above the compile hint)."""
+        bucket = batch_bucket(max(1, int(batch)))
+        arena = self._arenas.get(bucket)
+        if arena is None:
+            with self._arena_guard:
+                arena = self._arenas.get(bucket)
+                if arena is None:
+                    arena = Workspace(name=f"bucket{bucket}")
+                    self._arenas[bucket] = arena
+        return arena
+
+    def workspace_stats(self) -> dict:
+        """Aggregated arena counters (hits/misses/bytes) plus the
+        per-bucket breakdown -- the ``/metrics`` workspace section."""
+        with self._arena_guard:
+            arenas = dict(self._arenas)
+        per_bucket = {
+            bucket: arena.stats() for bucket, arena in sorted(arenas.items())
+        }
+        totals = {
+            "hits": sum(s["hits"] for s in per_bucket.values()),
+            "misses": sum(s["misses"] for s in per_bucket.values()),
+            "bytes_resident": sum(
+                s["bytes_resident"] for s in per_bucket.values()
+            ),
+            "buffers": sum(s["buffers"] for s in per_bucket.values()),
+        }
+        return {**totals, "buckets": per_bucket}
 
     def _check_active(self) -> None:
         if self._generation != self._qm._compile_generation:
@@ -500,12 +559,29 @@ class CompiledModel:
         """``(dotted_path, QuantLinear)`` pairs, walk order."""
         return self._qm.named_layers()
 
-    def warmup(self) -> "CompiledModel":
+    def warmup(self, sample: np.ndarray | None = None) -> "CompiledModel":
         """Build every pinned engine now (first-request latency to
-        zero).  Returns self for chaining."""
+        zero).  Returns self for chaining.
+
+        With *sample* -- one request without its batch axis, exactly
+        what :meth:`repro.serve.Server.predict` receives -- the model
+        additionally runs one forward pass per pre-sized batch-bucket
+        arena (the sample tiled to the bucket's batch), so every
+        steady-state buffer is allocated up front and the first real
+        request already serves allocation-free.
+        """
         self._check_active()
         for _, layer in self._qm.named_layers():
             layer.engine_for(self.batch_hint)
+        if sample is not None and self.workspaces_enabled:
+            arr = np.asarray(sample)
+            with self._arena_guard:
+                buckets = sorted(self._arenas)
+            for bucket in buckets:
+                batched = np.broadcast_to(
+                    arr[None, ...], (bucket,) + arr.shape
+                )
+                self(np.ascontiguousarray(batched))
         return self
 
     def cost_report(self) -> ModelCostReport:
@@ -525,14 +601,48 @@ class CompiledModel:
         and the output's unit batch axis is squeezed away, so a
         per-request serving path can hand vectors straight through
         without caller-side reshapes.
+
+        The forward runs inside the batch bucket's workspace arena
+        (see the class docstring); arena-owned results are copied out
+        before returning, so the caller's array survives the next
+        request's arena reset.
         """
         self._check_active()
         arr = np.asarray(x)
-        if arr.ndim == 1:
-            out = self.model(arr[None, :], *args, **kwargs)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        out = self._forward(arr, args, kwargs)
+        if squeeze:
             out = np.asarray(out)
             return out[0] if out.ndim and out.shape[0] == 1 else out
-        return self.model(arr, *args, **kwargs)
+        return out
+
+    def _forward(self, arr: np.ndarray, args: tuple, kwargs: dict):
+        workspace = None
+        locked = False
+        if self.workspaces_enabled:
+            # One arena serves one request at a time; a concurrent call
+            # on the same handle (replicas exist for that) just takes
+            # the allocating path instead of blocking or corrupting.
+            locked = self._forward_lock.acquire(blocking=False)
+            if locked:
+                workspace = self._arena_for(arr.shape[0] if arr.ndim else 1)
+        try:
+            if workspace is None:
+                return self.model(arr, *args, **kwargs)
+            workspace.reset()
+            with use_workspace(workspace):
+                out = self.model(arr, *args, **kwargs)
+            result = np.asarray(out)
+            if workspace.owns(result):
+                # The model's last layer wrote into the arena: hand the
+                # caller a copy that outlives the next reset.
+                return result.copy()
+            return out
+        finally:
+            if locked:
+                self._forward_lock.release()
 
     def clone(self) -> "CompiledModel":
         """An independent serving replica sharing the compiled engines.
@@ -557,7 +667,11 @@ class CompiledModel:
         model = copy.deepcopy(self._qm.model, memo)
         named = [(name, memo[id(layer)]) for name, layer in named_src]
         qm = QuantModel(model, self._qm.config, named)
-        return CompiledModel(qm, list(self._plans), self.batch_hint)
+        replica = CompiledModel(qm, list(self._plans), self.batch_hint)
+        # Fresh arenas (never shared -- that is the point of a replica);
+        # the enable/disable choice carries over.
+        replica.workspaces_enabled = self.workspaces_enabled
+        return replica
 
     def replicate(self, n: int) -> list["CompiledModel"]:
         """*n* warmed serving replicas (see :meth:`clone`).

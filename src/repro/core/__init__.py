@@ -21,7 +21,9 @@ online (per input batch)
 :class:`repro.core.kernel.BiQGemm` packages the whole flow;
 :mod:`repro.core.autotune` selects the LUT-unit ``mu``;
 :mod:`repro.core.profiling` provides the build/query/replace timers used
-to regenerate the paper's Fig. 8.
+to regenerate the paper's Fig. 8 plus the allocation counters;
+:mod:`repro.core.workspace` provides the scratch-buffer arenas that make
+the online phase allocation-free at steady state.
 """
 
 from repro.core.keys import KeyMatrix, encode_keys, decode_keys
@@ -39,7 +41,8 @@ from repro.core.group import BiQGemmGroup
 from repro.core.serialize import save_engine, load_engine
 from repro.core.tiling import TileConfig, iter_tiles, lut_tile_bytes, choose_tiles
 from repro.core.autotune import analytic_mu, empirical_mu
-from repro.core.profiling import PhaseProfiler
+from repro.core.profiling import PhaseProfiler, measure_hot_loop
+from repro.core.workspace import Workspace, current_workspace, use_workspace
 
 __all__ = [
     "KeyMatrix",
@@ -63,4 +66,8 @@ __all__ = [
     "analytic_mu",
     "empirical_mu",
     "PhaseProfiler",
+    "Workspace",
+    "current_workspace",
+    "measure_hot_loop",
+    "use_workspace",
 ]

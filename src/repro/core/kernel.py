@@ -27,11 +27,12 @@ from typing import Literal
 
 import numpy as np
 
-from repro._util import check_positive_int
+from repro._util import check_matmul_out, check_positive_int
 from repro.core.keys import KeyMatrix, decode_keys, encode_keys
 from repro.core.lut import build_tables_dp, build_tables_gemm, reshape_input
 from repro.core.profiling import PhaseProfiler
 from repro.core.tiling import TileConfig, choose_tiles, iter_tiles
+from repro.core.workspace import CallScratch, Workspace
 
 __all__ = ["BiQGemm"]
 
@@ -90,6 +91,10 @@ class BiQGemm:
             raise ValueError("alphas contain NaN or Inf")
         self._alphas = alphas
         self._keys_intp: np.ndarray | None = None
+        self._keys_gT: np.ndarray | None = None
+        self._alphas_cache: dict[str, np.ndarray] = {}
+        self._offsets_cache: dict[int, np.ndarray] = {}
+        self._flat_idx_cache: dict[int, np.ndarray] = {}
         self.batch_invariant = False
 
     backend_name = "biqgemm"
@@ -97,6 +102,12 @@ class BiQGemm:
 
     _INVARIANT_TILE_BATCH = 32
     """Reference batch for tile selection in batch-invariant mode."""
+
+    _FUSED_QUERY_BUDGET = 1 << 20
+    """Max gathered elements (rows * tile_g * batch) for the fused
+    single-take loop-query variant; larger blocks fall back to the
+    per-group gather to keep the working set cache-sized.  The two
+    variants are bit-identical, so this is purely a speed knob."""
 
     def _flat_keys(self) -> np.ndarray:
         """Key planes widened to intp, cached for the flat query path.
@@ -111,6 +122,68 @@ class BiQGemm:
         if self._keys_intp is None:
             self._keys_intp = self._keys.keys.astype(np.intp)
         return self._keys_intp
+
+    def _alphas_for(self, dtype: np.dtype) -> np.ndarray:
+        """Per-bit scales cast to *dtype*, cached (hot-loop allocation
+        removal; a benign idempotent race under threads)."""
+        key = np.dtype(dtype).str
+        cached = self._alphas_cache.get(key)
+        if cached is None:
+            cached = self._alphas.astype(dtype, copy=False)
+            self._alphas_cache[key] = cached
+        return cached
+
+    def _flat_offsets(self, tile_g: int) -> np.ndarray:
+        """``(1, tile_g)`` table base offsets for the flat gather, cached
+        per tile width."""
+        cached = self._offsets_cache.get(tile_g)
+        if cached is None:
+            cached = (
+                np.arange(tile_g, dtype=np.intp) * (1 << self.mu)
+            )[None, :]
+            self._offsets_cache[tile_g] = cached
+        return cached
+
+    def _keys_by_group(self) -> np.ndarray:
+        """Keys transposed to ``(bits, groups, m)`` intp, contiguous.
+
+        The loop query gathers one group column per step; slicing this
+        cache yields the contiguous intp index vector ``np.take`` wants
+        -- a strided or narrow-dtype index is silently converted
+        (allocated) on every gather.  Built lazily; benign idempotent
+        race under threads.
+        """
+        if self._keys_gT is None:
+            self._keys_gT = np.ascontiguousarray(
+                self._keys.keys.transpose(0, 2, 1).astype(np.intp)
+            )
+        return self._keys_gT
+
+    def _flat_idx(self, tile_width: int) -> np.ndarray:
+        """Precomputed flat gather indices, ``(bits, m, groups)`` intp.
+
+        ``pre[i, r, g] = keys[i, r, g] + (g % tile_width) * 2^mu`` -- the
+        exact index the flat query gathers with, for any tile whose
+        group start is a multiple of *tile_width*.  Keys are immutable,
+        so this is a per-engine constant: computing it per call costs a
+        broadcast-add whose numpy iteration buffer is itself a hot-loop
+        allocation, and slicing the cached contiguous matrix costs
+        nothing.  One entry per distinct tile width (usually one).
+        """
+        cached = self._flat_idx_cache.get(tile_width)
+        if cached is None:
+            groups = self._keys.groups
+            offs = (
+                np.arange(groups, dtype=np.intp) % tile_width
+            ) * (1 << self.mu)
+            # Deliberately left writable: np.take silently copies
+            # read-only index arrays, which would re-introduce the very
+            # per-call allocation this cache removes.
+            cached = np.ascontiguousarray(
+                self._flat_keys() + offs[None, None, :]
+            )
+            self._flat_idx_cache[tile_width] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # constructors
@@ -224,6 +297,8 @@ class BiQGemm:
         threads: int = 1,
         query_impl: QueryImpl = "auto",
         profiler: PhaseProfiler | None = None,
+        out: np.ndarray | None = None,
+        workspace: Workspace | None = None,
     ) -> np.ndarray:
         """Compute ``W_quantized @ x`` via table lookups.
 
@@ -252,12 +327,27 @@ class BiQGemm:
         profiler:
             Optional :class:`~repro.core.profiling.PhaseProfiler`
             accumulating build/query/replace seconds (Fig. 8).
+        out:
+            Optional destination of shape ``(m, b)`` (``(m,)`` for
+            vector input) in the computation dtype.  Must not alias
+            *x*; it is zero-filled and accumulated into.
+        workspace:
+            Optional :class:`~repro.core.workspace.Workspace` arena
+            supplying the padded input, table, gather and accumulator
+            scratch (and the output when *out* is not given), so a
+            steady-state call loop performs no numpy allocations.
+            Results are bit-identical with or without a workspace.
 
         Returns
         -------
-        ``(m, b)`` array in *x*'s float dtype (``(m,)`` for vector input).
+        ``(m, b)`` array in *x*'s float dtype (``(m,)`` for vector
+        input); *out* when it was provided.
         """
         check_positive_int(threads, "threads", upper=256)
+        # Call-scoped scratch (tables, gathers, accumulators, padded
+        # input): released back to the arena when the call completes,
+        # so consecutive layers reuse the same cache-hot buffers.
+        scratch = CallScratch(workspace)
         with _phase(profiler, "replace"):
             arr = np.asarray(x)
             vector_in = arr.ndim == 1
@@ -271,7 +361,7 @@ class BiQGemm:
                 )
             if not np.issubdtype(arr.dtype, np.floating):
                 arr = arr.astype(np.float64)
-            xhat = reshape_input(arr, self.mu)
+            xhat = reshape_input(arr, self.mu, workspace=scratch)
         batch = arr.shape[1]
         groups = self._keys.groups
         m = self._keys.m
@@ -298,30 +388,67 @@ class BiQGemm:
             builder = "dp"
         build_fn = self._resolve_builder(builder, batch)
 
-        y = np.zeros((m, batch), dtype=dtype)
-        alphas = self._alphas.astype(dtype, copy=False)
+        if out is not None:
+            y = check_matmul_out(out, m, batch, dtype, arr, vector_in)
+            y[...] = 0
+        elif workspace is not None:
+            y = workspace.acquire("kernel.y", (m, batch), dtype, zero=True)
+        else:
+            y = np.zeros((m, batch), dtype=dtype)
+        alphas = self._alphas_for(dtype)
         keys = self._keys.keys
 
-        if threads == 1:
-            self._run_tiles(
-                y, xhat, keys, alphas, tiles, build_fn, query_impl, profiler
-            )
-        else:
-            from repro.core.multithread import run_tiles_threaded
+        try:
+            if threads == 1:
+                self._run_tiles(
+                    y,
+                    xhat,
+                    keys,
+                    alphas,
+                    tiles,
+                    build_fn,
+                    query_impl,
+                    profiler,
+                    scratch,
+                )
+            else:
+                from repro.core.multithread import run_tiles_threaded
 
-            run_tiles_threaded(
-                self,
-                y,
-                xhat,
-                keys,
-                alphas,
-                tiles,
-                build_fn,
-                query_impl,
-                profiler,
-                threads,
-            )
+                run_tiles_threaded(
+                    self,
+                    y,
+                    xhat,
+                    keys,
+                    alphas,
+                    tiles,
+                    build_fn,
+                    query_impl,
+                    profiler,
+                    threads,
+                    workspace=workspace,
+                    scratch=scratch,
+                )
+        finally:
+            scratch.close()
+        if out is not None:
+            return out
         return y[:, 0] if vector_in else y
+
+    def matmul_into(
+        self,
+        x: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+        workspace: Workspace | None = None,
+        **kwargs,
+    ) -> np.ndarray:
+        """The engine-protocol spelling of the workspace path.
+
+        Equivalent to ``matmul(x, out=out, workspace=workspace)``;
+        registered engines without this method are served through plain
+        :meth:`matmul` by the layer stack (transparent fallback).
+        """
+        return self.matmul(x, out=out, workspace=workspace, **kwargs)
 
     def __call__(self, x: np.ndarray, **kwargs) -> np.ndarray:
         """Alias for :meth:`matmul`."""
@@ -349,7 +476,9 @@ class BiQGemm:
         if builder == "dp":
             return build_tables_dp
         if builder == "dp-nosym":
-            return lambda xh: build_tables_dp(xh, use_symmetry=False)
+            return lambda xh, out=None: build_tables_dp(
+                xh, use_symmetry=False, out=out
+            )
         if builder == "gemm":
             return build_tables_gemm
         if builder == "auto":
@@ -364,6 +493,27 @@ class BiQGemm:
             f"builder must be 'dp', 'dp-nosym', 'gemm' or 'auto', got {builder!r}"
         )
 
+    def _build_tile(
+        self,
+        build_fn,
+        xhat_slice: np.ndarray,
+        scratch: CallScratch,
+        batch: int,
+        dtype: np.dtype,
+    ) -> np.ndarray:
+        """Build one group tile's tables into reusable scratch storage.
+
+        The table buffer is the largest per-call intermediate; one
+        buffer per distinct tile width (full tile + possible remainder)
+        serves every group tile of the call -- the LUT-stationary
+        schedule never needs two alive at once.
+        """
+        g_len = xhat_slice.shape[0]
+        buf = scratch.get(
+            "lut.tables", (g_len, 1 << self.mu, batch), dtype
+        )
+        return build_fn(xhat_slice, out=buf)
+
     def _run_tiles(
         self,
         y: np.ndarray,
@@ -374,19 +524,32 @@ class BiQGemm:
         build_fn,
         query_impl: QueryImpl,
         profiler: PhaseProfiler | None,
+        scratch: CallScratch | None = None,
     ) -> None:
         m, batch = y.shape
         groups = xhat.shape[0]
+        if scratch is None:
+            scratch = CallScratch()
         seen_g: int | None = None
         q_tile: np.ndarray | None = None
         for r_sl, g_sl in iter_tiles(m, groups, tiles):
             if seen_g != g_sl.start:
                 with _phase(profiler, "build"):
-                    q_tile = build_fn(xhat[g_sl])
+                    q_tile = self._build_tile(
+                        build_fn, xhat[g_sl], scratch, batch, y.dtype
+                    )
                 seen_g = g_sl.start
             with _phase(profiler, "query"):
                 self._query_tile(
-                    y, q_tile, keys, alphas, r_sl, g_sl, query_impl
+                    y,
+                    q_tile,
+                    keys,
+                    alphas,
+                    r_sl,
+                    g_sl,
+                    query_impl,
+                    scratch,
+                    tile_width=tiles.tile_g,
                 )
 
     def _query_tile(
@@ -398,11 +561,23 @@ class BiQGemm:
         r_sl: slice,
         g_sl: slice,
         query_impl: QueryImpl,
+        scratch: CallScratch | None = None,
+        *,
+        tile_width: int | None = None,
     ) -> None:
-        """Accumulate one (row, group) tile into *y* for all bit planes."""
+        """Accumulate one (row, group) tile into *y* for all bit planes.
+
+        All gather/accumulate intermediates come from *scratch*, so with
+        an arena-backed scratch the query phase allocates nothing; the
+        in-place formulation performs the identical floating-point
+        operations in the identical order as the allocating one, so
+        results are bit-for-bit the same.
+        """
         tile_g = q_tile.shape[0]
         batch = q_tile.shape[2]
         rows = r_sl.stop - r_sl.start
+        if scratch is None:
+            scratch = CallScratch()
         impl = query_impl
         if impl == "auto":
             # Measured on numpy: the single fancy-index gather ("flat")
@@ -415,23 +590,87 @@ class BiQGemm:
                 if batch <= 2 and rows * tile_g * batch <= (1 << 22)
                 else "loop"
             )
+        # mode="clip" below never clips -- keys are < 2^mu by
+        # construction (and flat indices < tile_g * 2^mu) -- it just
+        # lets np.take write straight into the scratch buffer without
+        # the bounds-checking temporary of mode="raise".
         if impl == "flat":
             flat = q_tile.reshape(tile_g * q_tile.shape[1], batch)
-            offsets = (
-                np.arange(tile_g, dtype=np.intp) * q_tile.shape[1]
-            )[None, :]
-            keys_intp = self._flat_keys()
+            width = tile_width if tile_width is not None else tile_g
+            # Tile-aligned starts slice the precomputed contiguous index
+            # matrix (the common case: every tile the schedule emits);
+            # anything else computes indices into scratch the slow way.
+            pre = (
+                self._flat_idx(width)
+                if g_sl.start % width == 0
+                else None
+            )
+            if pre is None:
+                keys_intp = self._flat_keys()
+                offsets = self._flat_offsets(tile_g)
+                idx_buf = scratch.get("q.idx", (rows, tile_g), np.intp)
+            gath = scratch.get("q.gather", (rows, tile_g, batch), y.dtype)
+            acc = scratch.get("q.acc", (rows, batch), y.dtype)
             for i in range(self.bits):
-                idx = keys_intp[i, r_sl, g_sl] + offsets
-                acc = flat[idx].sum(axis=1)
-                y[r_sl] += alphas[i, r_sl, None] * acc
+                if pre is not None:
+                    idx = pre[i, r_sl, g_sl]
+                else:
+                    np.add(keys_intp[i, r_sl, g_sl], offsets, out=idx_buf)
+                    idx = idx_buf
+                np.take(flat, idx, axis=0, out=gath, mode="clip")
+                np.sum(gath, axis=1, out=acc)
+                np.multiply(acc, alphas[i, r_sl, None], out=acc)
+                y[r_sl] += acc
         elif impl == "loop":
-            for i in range(self.bits):
-                acc = np.zeros((rows, batch), dtype=y.dtype)
-                key_block = keys[i, r_sl, g_sl]
-                for gi in range(tile_g):
-                    acc += q_tile[gi][key_block[:, gi]]
-                y[r_sl] += alphas[i, r_sl, None] * acc
+            acc = scratch.get("q.acc", (rows, batch), y.dtype)
+            g0 = g_sl.start
+            # GEMV fast path: gather every group's rows in one
+            # vectorized take, then fold the groups sequentially.  The
+            # additions run in exactly the per-group order of the
+            # fallback below, so the two variants are bit-identical and
+            # the batch-dependent choice between them cannot break
+            # serving batch-invariance; measured on numpy, the single
+            # big gather wins only for 1-2 column (decode) calls --
+            # wider batches read the gathered block with strides and
+            # lose to the fallback's contiguous row blocks.
+            width = tile_width if tile_width is not None else tile_g
+            fused = (
+                batch <= 2
+                and rows * tile_g * batch <= self._FUSED_QUERY_BUDGET
+                and g0 % width == 0
+            )
+            if fused:
+                flat = q_tile.reshape(tile_g * q_tile.shape[1], batch)
+                pre = self._flat_idx(width)
+                gath3 = scratch.get(
+                    "q.gather", (rows, tile_g, batch), y.dtype
+                )
+                for i in range(self.bits):
+                    np.take(
+                        flat, pre[i, r_sl, g_sl], axis=0, out=gath3,
+                        mode="clip",
+                    )
+                    acc[...] = 0
+                    for gi in range(tile_g):
+                        acc += gath3[:, gi, :]
+                    np.multiply(acc, alphas[i, r_sl, None], out=acc)
+                    y[r_sl] += acc
+            else:
+                gath = scratch.get("q.row", (rows, batch), y.dtype)
+                keys_gt = self._keys_by_group()
+                for i in range(self.bits):
+                    acc[...] = 0
+                    for gi in range(tile_g):
+                        np.take(
+                            q_tile[gi],
+                            keys_gt[i, g0 + gi, r_sl],
+                            axis=0,
+                            out=gath,
+                            mode="clip",
+                        )
+                        acc += gath
+                    np.multiply(acc, alphas[i, r_sl, None], out=acc)
+                    y[r_sl] += acc
         else:
             raise ValueError(
                 f"query_impl must be 'auto', 'flat' or 'loop', got {query_impl!r}"

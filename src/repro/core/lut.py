@@ -62,7 +62,32 @@ def sign_matrix(mu: int) -> np.ndarray:
     return (((codes[:, None] >> shifts) & 1).astype(np.int8) * 2) - 1
 
 
-def reshape_input(x: np.ndarray, mu: int) -> np.ndarray:
+_SIGN_CACHE: dict[tuple[int, str], np.ndarray] = {}
+
+
+def _sign_matrix_cached(mu: int, dtype: np.dtype) -> np.ndarray:
+    """``sign_matrix(mu)`` in *dtype*, cached (read-only) per (mu, dtype).
+
+    The GEMM builder needs the float sign matrix on every call; without
+    the cache that astype is a per-call allocation in the hot loop.
+    A benign race under threads: entries are idempotent.
+    """
+    key = (mu, np.dtype(dtype).str)
+    cached = _SIGN_CACHE.get(key)
+    if cached is None:
+        cached = sign_matrix(mu).astype(dtype)
+        cached.setflags(write=False)
+        _SIGN_CACHE[key] = cached
+    return cached
+
+
+def reshape_input(
+    x: np.ndarray,
+    mu: int,
+    *,
+    out: np.ndarray | None = None,
+    workspace=None,
+) -> np.ndarray:
     """Reshape an input matrix into the sub-vector tensor ``Xhat``.
 
     Paper Definition 2 / Fig. 7: ``X in R^{n x b}`` becomes
@@ -73,6 +98,14 @@ def reshape_input(x: np.ndarray, mu: int) -> np.ndarray:
 
     Accepts a 1-D vector (promoted to a single column).  The dtype is
     preserved (float32 stays float32).
+
+    When the input is already C-contiguous, floating and ``mu``-aligned
+    the result is a zero-copy **view** of *x* and both *out* and
+    *workspace* are ignored -- the replace phase then costs nothing.
+    Otherwise the padded copy is written into *out* (which must be a
+    C-contiguous ``(groups, mu, b)`` array of the input's float dtype),
+    or into a buffer acquired from *workspace*, or into a fresh
+    allocation, in that order of preference.
     """
     check_positive_int(mu, "mu", upper=MAX_MU)
     arr = np.asarray(x)
@@ -82,9 +115,31 @@ def reshape_input(x: np.ndarray, mu: int) -> np.ndarray:
         raise ValueError(f"x must be 1-D or 2-D, got shape {arr.shape}")
     if not np.issubdtype(arr.dtype, np.floating):
         arr = arr.astype(np.float64)
+    n, b = arr.shape
+    groups = -(-n // mu)
+    if n == groups * mu and arr.flags.c_contiguous:
+        return arr.reshape(groups, mu, b)
+    if out is None and workspace is not None:
+        out = workspace.acquire("lut.xhat", (groups, mu, b), arr.dtype)
+    if out is not None:
+        if out.shape != (groups, mu, b):
+            raise ValueError(
+                f"out must have shape ({groups}, {mu}, {b}), "
+                f"got {out.shape}"
+            )
+        if out.dtype != arr.dtype:
+            raise ValueError(
+                f"out dtype {out.dtype} != input dtype {arr.dtype}"
+            )
+        if not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        flat = out.reshape(groups * mu, b)
+        flat[:n] = arr
+        if n < groups * mu:
+            flat[n:] = 0
+        return out
     padded = pad_axis(arr, mu, axis=0, value=0)
-    groups = padded.shape[0] // mu
-    return np.ascontiguousarray(padded.reshape(groups, mu, arr.shape[1]))
+    return np.ascontiguousarray(padded.reshape(groups, mu, b))
 
 
 def build_table_reference(x_sub: np.ndarray, mu: int | None = None) -> np.ndarray:
@@ -125,7 +180,25 @@ def build_table_reference(x_sub: np.ndarray, mu: int | None = None) -> np.ndarra
     return r
 
 
-def build_tables_dp(xhat: np.ndarray, *, use_symmetry: bool = True) -> np.ndarray:
+def _check_table_out(
+    out: np.ndarray, groups: int, mu: int, b: int, dtype: np.dtype
+) -> np.ndarray:
+    if out.shape != (groups, 1 << mu, b):
+        raise ValueError(
+            f"out must have shape ({groups}, {1 << mu}, {b}), "
+            f"got {out.shape}"
+        )
+    if out.dtype != dtype:
+        raise ValueError(f"out dtype {out.dtype} != table dtype {dtype}")
+    return out
+
+
+def build_tables_dp(
+    xhat: np.ndarray,
+    *,
+    use_symmetry: bool = True,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Vectorized Algorithm 1 over all sub-vectors and batch columns.
 
     Parameters
@@ -139,6 +212,10 @@ def build_tables_dp(xhat: np.ndarray, *, use_symmetry: bool = True) -> np.ndarra
         recurrence runs all the way, which costs the same O(2^mu) adds
         but is branch-free -- useful for comparing against the paper's
         claim that the two are interchangeable.
+    out:
+        Optional ``(groups, 2^mu, b)`` destination in the table dtype;
+        every entry is overwritten, so a workspace buffer can be
+        reused across calls without clearing.
 
     Returns
     -------
@@ -149,13 +226,20 @@ def build_tables_dp(xhat: np.ndarray, *, use_symmetry: bool = True) -> np.ndarra
     """
     q = _validate_xhat(xhat)
     groups, mu, b = q.shape
-    out = np.empty((groups, 1 << mu, b), dtype=q.dtype)
+    if out is None:
+        out = np.empty((groups, 1 << mu, b), dtype=q.dtype)
+    else:
+        out = _check_table_out(out, groups, mu, b, q.dtype)
     # Entry 0 is -(sum of the sub-vector).  Folded explicitly rather
     # than with q.sum(axis=1): np.add.reduce picks a pairwise or
     # sequential order depending on the array's strides (batch width),
     # which would make table values -- and thus served layer outputs --
     # depend on how many columns share the call.  The explicit fold is
     # order-fixed for every batch size (serving batch-invariance).
+    # The fold runs in a small contiguous temporary, not in
+    # ``out[:, 0, :]`` directly: numpy's unary ufuncs misread strided
+    # inputs written to strided outputs when the inner axis has size 1
+    # (batch 1), so the strided-to-strided in-place spelling is unsafe.
     base = np.negative(q[:, 0, :])
     for j in range(1, mu):
         base -= q[:, j, :]
@@ -177,18 +261,23 @@ def build_tables_dp(xhat: np.ndarray, *, use_symmetry: bool = True) -> np.ndarra
     return out
 
 
-def build_tables_gemm(xhat: np.ndarray) -> np.ndarray:
+def build_tables_gemm(
+    xhat: np.ndarray, *, out: np.ndarray | None = None
+) -> np.ndarray:
     """Fig. 4(a) construction: ``Q = M_mu . Xhat`` as one batched GEMM.
 
-    Same output layout as :func:`build_tables_dp`; costs
-    ``2^mu * mu`` multiply-adds per table (``T_c,mm``) instead of the
-    DP's ``2^mu`` additions, but maps onto a single dense matmul.
+    Same output layout (and optional *out* destination) as
+    :func:`build_tables_dp`; costs ``2^mu * mu`` multiply-adds per
+    table (``T_c,mm``) instead of the DP's ``2^mu`` additions, but maps
+    onto a single dense matmul.
     """
     q = _validate_xhat(xhat)
-    mu = q.shape[1]
-    m_mu = sign_matrix(mu).astype(q.dtype)
+    groups, mu, b = q.shape
+    if out is not None:
+        out = _check_table_out(out, groups, mu, b, q.dtype)
+    m_mu = _sign_matrix_cached(mu, q.dtype)
     # (2^mu, mu) @ (groups, mu, b) -> (groups, 2^mu, b)
-    return np.matmul(m_mu, q)
+    return np.matmul(m_mu, q, out=out)
 
 
 def _validate_xhat(xhat: np.ndarray) -> np.ndarray:

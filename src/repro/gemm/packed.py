@@ -38,13 +38,26 @@ def _check_x(packed: PackedBits, x: np.ndarray, n_expected: int) -> np.ndarray:
     return xm
 
 
-def gemm_with_unpack(packed: PackedBits, x: np.ndarray) -> np.ndarray:
+def gemm_with_unpack(
+    packed: PackedBits,
+    x: np.ndarray,
+    *,
+    out: np.ndarray | None = None,
+    workspace=None,
+) -> np.ndarray:
     """Unpack packed binary weights, then BLAS-multiply (correct result).
 
     ``packed`` must wrap a 2-D ``(m, n)`` binary matrix packed along the
     last axis.  The unpack step is deliberately performed in full before
     the multiply, as a production GEMM would (paper Algorithm 3), so its
     cost is visible to the benchmarks.
+
+    *out* (shape ``(m, b)``, the computation dtype, no aliasing with
+    *x*) receives the product in place; *workspace* supplies the float
+    expansion of the unpacked plane.  Algorithm 3's bit extraction
+    itself still allocates its intermediate words -- unpacking per call
+    is this scenario's defining overhead (paper Fig. 9) and the
+    workspace path reduces, but cannot eliminate, its churn.
     """
     if not isinstance(packed, PackedBits):
         raise TypeError(f"expected PackedBits, got {type(packed).__name__}")
@@ -54,8 +67,25 @@ def gemm_with_unpack(packed: PackedBits, x: np.ndarray) -> np.ndarray:
         )
     xm = _check_x(packed, x, packed.n)
     dtype = xm.dtype if np.issubdtype(xm.dtype, np.floating) else np.float64
-    unpacked = unpack_bits(packed).astype(dtype)
-    return unpacked @ xm.astype(dtype, copy=False)
+    signs = unpack_bits(packed)
+    if workspace is not None:
+        unpacked = workspace.acquire(
+            "unpack.plane", signs.shape, dtype
+        )
+        np.copyto(unpacked, signs, casting="unsafe")
+    else:
+        unpacked = signs.astype(dtype)
+    xc = xm.astype(dtype, copy=False)
+    try:
+        if out is None:
+            return unpacked @ xc
+        if np.may_share_memory(out, xm):
+            raise ValueError("out must not alias x")
+        np.matmul(unpacked, xc, out=out)
+        return out
+    finally:
+        if workspace is not None:
+            workspace.release(unpacked)
 
 
 def gemm_without_unpack(packed: PackedBits, x: np.ndarray) -> np.ndarray:

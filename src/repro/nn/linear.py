@@ -41,6 +41,7 @@ from dataclasses import fields, replace
 import numpy as np
 
 from repro._util import as_2d_float
+from repro.core.workspace import current_workspace
 from repro.engine import (
     AUTO_BACKEND,
     Backend,
@@ -225,6 +226,16 @@ class QuantLinear:
         self._shape = (int(w.shape[0]), int(w.shape[1]))
         self._engines: dict[str, MatmulEngine] = {}
         self._build_lock = threading.Lock()
+        self._bias_cache: dict[np.dtype, np.ndarray] = {}
+
+    def _bias_for(self, dtype: np.dtype) -> np.ndarray:
+        """The bias cast to *dtype*, cached (a per-call allocation on
+        the workspace path otherwise)."""
+        cached = self._bias_cache.get(dtype)
+        if cached is None:
+            cached = self.bias.astype(dtype, copy=False)
+            self._bias_cache[dtype] = cached
+        return cached
 
     @classmethod
     def from_engine(
@@ -259,6 +270,7 @@ class QuantLinear:
         obj._shape = (int(m), int(n))
         obj._engines = {spec.backend: engine}
         obj._build_lock = threading.Lock()
+        obj._bias_cache = {}
         return obj
 
     def with_spec(self, spec: QuantSpec) -> "QuantLinear":
@@ -296,6 +308,7 @@ class QuantLinear:
         obj._shape = self._shape
         obj._engines = {}
         obj._build_lock = threading.Lock()
+        obj._bias_cache = {}
         return obj
 
     def clone_shared(self) -> "QuantLinear":
@@ -316,6 +329,7 @@ class QuantLinear:
         obj._shape = self._shape
         obj._engines = dict(self._engines)
         obj._build_lock = threading.Lock()
+        obj._bias_cache = {}
         return obj
 
     @property
@@ -413,7 +427,18 @@ class QuantLinear:
         return int(self.engine_for(self.spec.batch_hint or 1).weight_nbytes)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        """Apply to ``(..., n)`` activations; returns ``(..., m)``."""
+        """Apply to ``(..., n)`` activations; returns ``(..., m)``.
+
+        When a :class:`~repro.core.workspace.Workspace` is active
+        (:func:`repro.core.workspace.use_workspace` -- the
+        :class:`~repro.api.CompiledModel` serving path) and the engine
+        implements ``matmul_into``, the activation buffer comes from
+        the arena and the product is computed in place: the returned
+        array is arena-owned and valid until the workspace resets.
+        Engines without ``matmul_into`` (and all calls outside a
+        workspace) take the allocating path; both produce bit-identical
+        values.
+        """
         arr = np.asarray(x)
         if not np.issubdtype(arr.dtype, np.floating):
             arr = arr.astype(np.float64)
@@ -424,13 +449,39 @@ class QuantLinear:
                 f"input features {arr.shape[-1] if arr.ndim else 0} != "
                 f"layer width {n}"
             )
+        m = self._shape[0]
         cols = arr.reshape(-1, n).T  # engines use (n, tokens)
-        if cols.shape[1]:
-            out_cols = self.engine_for(cols.shape[1]).matmul(cols)
-        else:
+        tokens = cols.shape[1]
+        if not tokens:
             # Zero tokens: nothing to plan or multiply.
-            out_cols = np.zeros((self._shape[0], 0), dtype=arr.dtype)
-        out = out_cols.T.reshape(lead + (self._shape[0],))
+            out = np.zeros((m, 0), dtype=arr.dtype).T.reshape(lead + (m,))
+            return _add_bias(out, self.bias)
+        engine = self.engine_for(tokens)
+        workspace = current_workspace()
+        matmul_into = (
+            getattr(engine, "matmul_into", None)
+            if workspace is not None
+            else None
+        )
+        if matmul_into is not None:
+            # The engine writes its natural C-contiguous (m, tokens)
+            # layout (fast row-slice accumulation); the bias fold then
+            # transposes into a (tokens, m) activation buffer, leaving
+            # the caller the same C-contiguous result layout -- and the
+            # same bits -- as the allocating path's ``out + bias``.
+            out_cols = workspace.acquire(
+                "linear.out", (m, tokens), cols.dtype
+            )
+            matmul_into(cols, out=out_cols, workspace=workspace)
+            if self.bias is not None:
+                act = workspace.acquire(
+                    "linear.act", (tokens, m), cols.dtype
+                )
+                np.add(out_cols.T, self._bias_for(cols.dtype), out=act)
+                return act.reshape(lead + (m,))
+            return out_cols.T.reshape(lead + (m,))
+        out_cols = engine.matmul(cols)
+        out = out_cols.T.reshape(lead + (m,))
         return _add_bias(out, self.bias)
 
 

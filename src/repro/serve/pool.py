@@ -40,15 +40,23 @@ class WorkerPool:
         self.workers = workers
         self._compiled = compiled
         self._threads: list[threading.Thread] = []
+        self._replicas: list[CompiledModel] = []
         self._stop = threading.Event()
 
     def start(self) -> "WorkerPool":
         """Warm the engines, clone one replica per worker, start
-        serving."""
+        serving.
+
+        Each replica owns its workspace arenas
+        (:meth:`~repro.api.CompiledModel.clone` never shares them), so
+        worker threads reuse warm buffers without ever contending on --
+        or aliasing -- another worker's scratch.
+        """
         if self._threads:
             raise RuntimeError("worker pool is already started")
         self._stop.clear()
         replicas = self._compiled.replicate(self.workers)
+        self._replicas = replicas
         for i, replica in enumerate(replicas):
             thread = threading.Thread(
                 target=self._run,
@@ -95,6 +103,23 @@ class WorkerPool:
         for thread in self._threads:
             thread.join(timeout)
         self._threads = []
+        self._replicas = []
+
+    def workspace_stats(self) -> dict:
+        """Arena counters summed over the pool's replicas.
+
+        Read alongside the LUT-amortization ratio: amortization says
+        whether requests share table builds, the hit rate says whether
+        the builds (and everything else) reuse warm memory.
+        """
+        stats = [r.workspace_stats() for r in self._replicas]
+        return {
+            "hits": sum(s["hits"] for s in stats),
+            "misses": sum(s["misses"] for s in stats),
+            "bytes_resident": sum(s["bytes_resident"] for s in stats),
+            "buffers": sum(s["buffers"] for s in stats),
+            "replicas": len(stats),
+        }
 
     @property
     def running(self) -> bool:

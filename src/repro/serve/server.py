@@ -260,14 +260,22 @@ class Server:
         return self.store.models()
 
     def metrics(self) -> dict:
-        """Telemetry snapshot per model plus store-level counters."""
+        """Telemetry snapshot per model plus store-level counters.
+
+        Each model's snapshot carries a ``workspace`` section (arena
+        hit/miss and bytes-resident, summed over its worker replicas)
+        next to the LUT-amortization ratio, so batching efficiency and
+        steady-state memory reuse are observable together.
+        """
         with self._lock:
             runtimes = dict(self._runtimes)
+        models = {}
+        for name, runtime in sorted(runtimes.items()):
+            snapshot = runtime.telemetry.snapshot()
+            snapshot["workspace"] = runtime.pool.workspace_stats()
+            models[name] = snapshot
         return {
-            "models": {
-                name: runtime.telemetry.snapshot()
-                for name, runtime in sorted(runtimes.items())
-            },
+            "models": models,
             "store": {
                 "models": len(self.store),
                 "resident_bytes": self.store.total_bytes(),

@@ -1,0 +1,168 @@
+"""CompiledModel workspace arenas: parity, reuse, warmup, replicas."""
+
+import numpy as np
+import pytest
+
+from repro.api import QuantConfig, quantize
+from repro.api.model import QuantMLP
+from repro.core.profiling import measure_hot_loop
+from repro.nn.linear import Linear
+from repro.nn.model_zoo import build_encoder
+
+
+@pytest.fixture()
+def compiled_mlp(rng):
+    dims = (48, 96, 48, 8)
+    layers = [
+        Linear(
+            rng.standard_normal((dims[i + 1], dims[i])) * 0.1,
+            rng.standard_normal(dims[i + 1]) * 0.01,
+        )
+        for i in range(len(dims) - 1)
+    ]
+    return quantize(QuantMLP(layers), QuantConfig(bits=2, mu=4)).compile(
+        batch_hint=1
+    )
+
+
+class TestParity:
+    def test_outputs_bit_identical_with_and_without_arenas(
+        self, compiled_mlp, rng
+    ):
+        x = rng.standard_normal((3, 48))
+        compiled_mlp.workspaces_enabled = False
+        expected = compiled_mlp(x)
+        compiled_mlp.workspaces_enabled = True
+        for _ in range(3):  # buffer reuse stays exact call after call
+            got = compiled_mlp(x)
+            assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_parity_across_dtypes(self, compiled_mlp, rng, dtype):
+        x = rng.standard_normal((2, 48)).astype(dtype)
+        compiled_mlp.workspaces_enabled = False
+        expected = compiled_mlp(x)
+        compiled_mlp.workspaces_enabled = True
+        got = compiled_mlp(x)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+
+    def test_parity_on_encoder(self, rng):
+        encoder = build_encoder(
+            "transformer-base", scale=16, layers=1, seed=0
+        )
+        compiled = quantize(encoder, QuantConfig(bits=2, mu=4)).compile(
+            batch_hint=1
+        )
+        x = rng.standard_normal((2, 3, compiled.model.config.dim))
+        compiled.workspaces_enabled = False
+        expected = compiled(x)
+        compiled.workspaces_enabled = True
+        assert np.array_equal(compiled(x), expected)
+
+    def test_vector_request_parity(self, compiled_mlp, rng):
+        x = rng.standard_normal(48)
+        compiled_mlp.workspaces_enabled = False
+        expected = compiled_mlp(x)
+        compiled_mlp.workspaces_enabled = True
+        got = compiled_mlp(x)
+        assert got.shape == expected.shape
+        assert np.array_equal(got, expected)
+
+
+class TestArenaLifecycle:
+    def test_results_survive_subsequent_requests(self, compiled_mlp, rng):
+        """Outputs are copied out of the arena: serving one request
+        must not clobber the previous caller's array."""
+        x1 = rng.standard_normal((2, 48))
+        x2 = rng.standard_normal((2, 48))
+        out1 = compiled_mlp(x1)
+        snapshot = out1.copy()
+        compiled_mlp(x2)
+        assert np.array_equal(out1, snapshot)
+
+    def test_steady_state_stops_allocating_arena_slots(
+        self, compiled_mlp, rng
+    ):
+        x = rng.standard_normal((2, 48))
+        compiled_mlp(x)
+        stats1 = compiled_mlp.workspace_stats()
+        for _ in range(3):
+            compiled_mlp(x)
+        stats2 = compiled_mlp.workspace_stats()
+        assert stats2["misses"] == stats1["misses"]
+        assert stats2["hits"] > stats1["hits"]
+        assert stats2["bytes_resident"] == stats1["bytes_resident"]
+
+    def test_buckets_pre_sized_at_compile(self, compiled_mlp):
+        assert set(compiled_mlp.workspace_stats()["buckets"]) == {1}
+
+    def test_larger_batches_add_buckets(self, compiled_mlp, rng):
+        compiled_mlp(rng.standard_normal((5, 48)))
+        assert 8 in compiled_mlp.workspace_stats()["buckets"]
+
+    def test_warmup_with_sample_populates_arenas(self, compiled_mlp, rng):
+        compiled_mlp.warmup(sample=rng.standard_normal(48))
+        stats = compiled_mlp.workspace_stats()
+        assert stats["misses"] > 0
+        # the very next request is served entirely from warm buffers
+        misses = stats["misses"]
+        compiled_mlp(rng.standard_normal((1, 48)))
+        assert compiled_mlp.workspace_stats()["misses"] == misses
+
+    def test_model_alloc_churn_drops_with_arenas(self, compiled_mlp, rng):
+        x = rng.standard_normal((1, 48))
+        compiled_mlp.workspaces_enabled = False
+        base = measure_hot_loop(
+            lambda: compiled_mlp(x), warmups=2, repeats=3, min_alloc_bytes=1
+        )
+        compiled_mlp.workspaces_enabled = True
+        compiled_mlp.warmup(sample=x[0])
+        arena = measure_hot_loop(
+            lambda: compiled_mlp(x), warmups=2, repeats=3, min_alloc_bytes=1
+        )
+        assert arena["peak_new_bytes"] < base["peak_new_bytes"]
+
+
+class TestReplicas:
+    def test_clone_gets_fresh_arenas(self, compiled_mlp, rng):
+        compiled_mlp(rng.standard_normal((1, 48)))
+        replica = compiled_mlp.clone()
+        assert replica.workspace_stats()["misses"] == 0
+        assert replica.workspaces_enabled is True
+
+    def test_clone_inherits_disabled_flag(self, compiled_mlp):
+        compiled_mlp.workspaces_enabled = False
+        assert compiled_mlp.clone().workspaces_enabled is False
+
+    def test_replica_outputs_match(self, compiled_mlp, rng):
+        x = rng.standard_normal((2, 48))
+        expected = compiled_mlp(x)
+        replica = compiled_mlp.clone()
+        assert np.array_equal(replica(x), expected)
+
+    def test_concurrent_calls_on_one_handle_stay_correct(
+        self, compiled_mlp, rng
+    ):
+        """A second concurrent caller overflows onto the allocating
+        path instead of corrupting the single arena."""
+        import threading
+
+        x = rng.standard_normal((2, 48))
+        expected = compiled_mlp(x)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(10):
+                    if not np.array_equal(compiled_mlp(x), expected):
+                        errors.append("mismatch")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

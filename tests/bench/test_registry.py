@@ -27,7 +27,7 @@ class TestRegistry:
             "fig8", "fig9", "fig10",
             "mu", "lut_build", "tiling", "threads",
             "models", "shared", "cache", "qat",
-            "dispatch", "model_compile", "serve",
+            "dispatch", "model_compile", "serve", "steady_state",
         }
         assert expected == set(EXPERIMENTS)
 

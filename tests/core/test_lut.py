@@ -170,3 +170,103 @@ class TestFlopCounts:
             ratio = gemm_build_flop_count(mu, 7, 3) / dp_flop_count(mu, 7, 3)
             assert ratio < mu
             assert ratio == pytest.approx(mu, rel=0.10 if mu >= 8 else 0.15)
+
+
+class TestReshapeInputNoCopy:
+    """Regression: the aligned contiguous case must be a zero-copy view
+    (the replace phase then costs nothing in the serving hot loop)."""
+
+    def test_aligned_contiguous_2d_is_view(self, rng):
+        x = rng.standard_normal((32, 4))
+        xhat = reshape_input(x, 8)
+        assert np.shares_memory(xhat, x)
+        assert xhat.base is x
+
+    def test_aligned_1d_is_view(self, rng):
+        x = rng.standard_normal(16)
+        assert np.shares_memory(reshape_input(x, 4), x)
+
+    def test_view_ignores_out_and_workspace(self, rng):
+        from repro.core.workspace import Workspace
+
+        x = rng.standard_normal((32, 2))
+        out = np.empty((4, 8, 2))
+        ws = Workspace()
+        xhat = reshape_input(x, 8, out=out, workspace=ws)
+        assert np.shares_memory(xhat, x)
+        assert ws.misses == 0
+
+    def test_float32_aligned_is_view(self, rng):
+        x = rng.standard_normal((24, 3)).astype(np.float32)
+        assert np.shares_memory(reshape_input(x, 8), x)
+
+    def test_unaligned_copies(self, rng):
+        x = rng.standard_normal((30, 2))
+        xhat = reshape_input(x, 8)
+        assert not np.shares_memory(xhat, x)
+        assert xhat.shape == (4, 8, 2)
+
+    def test_non_contiguous_copies(self, rng):
+        x = rng.standard_normal((4, 32)).T  # F-ordered view
+        xhat = reshape_input(x, 8)
+        assert not np.shares_memory(xhat, x)
+        assert np.array_equal(xhat.reshape(32, 4), np.ascontiguousarray(x))
+
+
+class TestReshapeInputOut:
+    def test_out_receives_padded_copy(self, rng):
+        x = rng.standard_normal((4, 30)).T  # non-contiguous -> copy path
+        out = np.empty((4, 8, 4))
+        got = reshape_input(x, 8, out=out)
+        assert got is out
+        flat = out.reshape(32, 4)
+        assert np.array_equal(flat[:30], np.ascontiguousarray(x))
+        assert np.array_equal(flat[30:], np.zeros((2, 4)))
+
+    def test_workspace_supplies_the_buffer(self, rng):
+        from repro.core.workspace import Workspace
+
+        x = rng.standard_normal((4, 30)).T
+        ws = Workspace()
+        got = reshape_input(x, 8, workspace=ws)
+        assert ws.owns(got)
+        assert ws.misses == 1
+
+    def test_out_shape_and_dtype_validated(self, rng):
+        x = rng.standard_normal((4, 30)).T
+        with pytest.raises(ValueError, match="shape"):
+            reshape_input(x, 8, out=np.empty((3, 8, 4)))
+        with pytest.raises(ValueError, match="dtype"):
+            reshape_input(x, 8, out=np.empty((4, 8, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="contiguous"):
+            reshape_input(x, 8, out=np.empty((4, 8, 8))[:, :, ::2])
+
+
+class TestBuilderOut:
+    @pytest.mark.parametrize("builder", ["dp", "gemm"])
+    def test_out_matches_fresh_bitwise(self, rng, builder):
+        xhat = reshape_input(rng.standard_normal((24, 5)), 4)
+        fn = build_tables_dp if builder == "dp" else build_tables_gemm
+        fresh = fn(xhat)
+        out = np.empty((6, 16, 5))
+        out[:] = np.nan  # every entry must be overwritten
+        got = fn(xhat, out=out)
+        assert got is out
+        assert np.array_equal(out, fresh)
+
+    def test_dp_nosym_out(self, rng):
+        xhat = reshape_input(rng.standard_normal((16, 2)), 4)
+        fresh = build_tables_dp(xhat, use_symmetry=False)
+        out = np.empty((4, 16, 2))
+        assert np.array_equal(
+            build_tables_dp(xhat, use_symmetry=False, out=out), fresh
+        )
+
+    def test_out_validation(self, rng):
+        xhat = reshape_input(rng.standard_normal((16, 2)), 4)
+        with pytest.raises(ValueError, match="shape"):
+            build_tables_dp(xhat, out=np.empty((4, 8, 2)))
+        with pytest.raises(ValueError, match="dtype"):
+            build_tables_gemm(
+                xhat, out=np.empty((4, 16, 2), dtype=np.float32)
+            )

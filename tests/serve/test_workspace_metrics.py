@@ -1,0 +1,69 @@
+"""Serving telemetry for the workspace arenas (/metrics section)."""
+
+import numpy as np
+
+from repro.api import QuantConfig, quantize
+from repro.api.model import QuantMLP
+from repro.nn.linear import Linear
+from repro.serve import ServeConfig, Server
+
+
+def _compiled_mlp(rng):
+    dims = (32, 64, 8)
+    layers = [
+        Linear(
+            rng.standard_normal((dims[i + 1], dims[i])) * 0.1,
+            rng.standard_normal(dims[i + 1]) * 0.01,
+        )
+        for i in range(len(dims) - 1)
+    ]
+    return quantize(QuantMLP(layers), QuantConfig(bits=2, mu=4)).compile(
+        batch_hint=1
+    )
+
+
+def test_metrics_expose_arena_counters(rng):
+    compiled = _compiled_mlp(rng)
+    server = Server(config=ServeConfig(workers=2, max_batch=4))
+    server.add_model("mlp", compiled)
+    with server:
+        for _ in range(6):
+            server.predict("mlp", rng.standard_normal(32))
+        snap = server.metrics()["models"]["mlp"]
+    ws = snap["workspace"]
+    assert ws["replicas"] == 2
+    assert ws["misses"] > 0  # warmup allocations happened
+    assert ws["bytes_resident"] > 0
+    assert ws["hits"] + ws["misses"] > 0
+    assert ws["buffers"] > 0
+    # sits next to the amortization ratio, per the observability story
+    assert "lut_amortization_ratio" in snap
+
+
+def test_steady_state_hits_grow_but_bytes_plateau(rng):
+    compiled = _compiled_mlp(rng)
+    server = Server(config=ServeConfig(workers=1, max_batch=4))
+    server.add_model("mlp", compiled)
+    with server:
+        x = rng.standard_normal(32)
+        for _ in range(3):
+            server.predict("mlp", x)
+        first = server.metrics()["models"]["mlp"]["workspace"]
+        for _ in range(5):
+            server.predict("mlp", x)
+        second = server.metrics()["models"]["mlp"]["workspace"]
+    assert second["hits"] > first["hits"]
+    assert second["bytes_resident"] == first["bytes_resident"]
+    assert second["misses"] == first["misses"]
+
+
+def test_served_outputs_match_direct_with_arenas(rng):
+    compiled = _compiled_mlp(rng)
+    inputs = [rng.standard_normal(32) for _ in range(8)]
+    expected = [compiled(x[None])[0] for x in inputs]
+    server = Server(config=ServeConfig(workers=2, max_batch=8))
+    server.add_model("mlp", compiled)
+    with server:
+        for x, want in zip(inputs, expected):
+            got = server.predict("mlp", x)
+            assert np.allclose(got, want, rtol=0, atol=0)
