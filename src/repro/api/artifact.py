@@ -250,18 +250,25 @@ def save(model: "CompiledModel | QuantModel", path: str | Path) -> None:
             arrays[f"layer{i}.{key}"] = np.asarray(value)
         if layer.bias is not None:
             arrays[f"layer{i}.__bias__"] = layer.bias
-        entries.append(
-            {
-                "index": i,
-                "path": layer_path,
-                "backend": backend,
-                "m": layer.shape[0],
-                "n": layer.shape[1],
-                "planned_backend": plan.backend,
-                "spec": _spec_to_dict(layer.spec),
-                "has_bias": layer.bias is not None,
-            }
-        )
+        entry_dict = {
+            "index": i,
+            "path": layer_path,
+            "backend": backend,
+            "m": layer.shape[0],
+            "n": layer.shape[1],
+            "planned_backend": plan.backend,
+            "spec": _spec_to_dict(layer.spec),
+            "has_bias": layer.bias is not None,
+        }
+        specialization = getattr(engine, "specialization", None)
+        if specialization is not None:
+            # Engines that specialize per (batch, dtype) -- "compiled"
+            # -- persist their trace plan, so load() rehydrates the
+            # kernels warmup() built instead of re-planning them.
+            plan_dict = specialization()
+            if plan_dict.get("batches"):
+                entry_dict["specialization"] = plan_dict
+        entries.append(entry_dict)
     manifest = {
         "repro_version": __version__,
         "config": model.config.to_dict(),
@@ -324,6 +331,11 @@ def load_with_manifest(path: str | Path) -> tuple[CompiledModel, dict]:
                 f"payload has shape {tuple(engine.shape)}, manifest says "
                 f"({entry_data['m']}, {entry_data['n']})"
             )
+        specialization = entry_data.get("specialization")
+        if specialization is not None:
+            prebuild = getattr(engine, "prebuild", None)
+            if prebuild is not None:
+                prebuild(specialization)
         layer = QuantLinear.from_engine(engine, spec=spec, bias=bias)
         layers_by_path[entry_data["path"]] = layer
         named.append((entry_data["path"], layer))

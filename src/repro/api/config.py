@@ -85,7 +85,7 @@ def _pattern_matches(pattern: str, name: str) -> bool:
 class QuantConfig:
     """One declarative config for quantizing a whole model.
 
-    The first eight fields mirror :class:`~repro.engine.base.QuantSpec`
+    The leading fields mirror :class:`~repro.engine.base.QuantSpec`
     and set the model-wide defaults; ``overrides`` maps glob patterns to
     partial field dicts applied per layer name (see the module docstring
     for the matching rules).  Mixed bit-width models are one override
@@ -107,6 +107,7 @@ class QuantConfig:
     machine: str = "pc"
     batch_hint: int | None = None
     planner: str = "model"
+    fuse: str | None = None
     overrides: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -134,6 +135,7 @@ class QuantConfig:
             machine=self.machine,
             batch_hint=self.batch_hint,
             planner=self.planner,
+            fuse=self.fuse,
         )
 
     def matching_patterns(self, name: str) -> tuple[str, ...]:

@@ -231,12 +231,19 @@ class QuantMLP:
         return (first[1],) + tuple(layer.shape[0] for layer in self.fc)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        """Logits for inputs ``(batch, input_dim)``."""
+        """Logits for inputs ``(batch, input_dim)``.
+
+        Hidden activations run in place on the layer's output buffer,
+        and a layer whose engine already fused the ReLU into its
+        epilogue (:attr:`QuantLinear.fused_activation`) skips the step
+        entirely -- same bits either way.
+        """
         h = np.asarray(x)
+        last = len(self.fc) - 1
         for i, layer in enumerate(self.fc):
             h = layer(h)
-            if i < len(self.fc) - 1:
-                h = relu(h)
+            if i < last and getattr(layer, "fused_activation", None) is None:
+                h = relu(h, out=h)
         return h
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -332,6 +339,31 @@ def quantize(model: Any, config=None, **kwargs) -> "QuantModel":
 # ----------------------------------------------------------------------
 # QuantModel / CompiledModel
 # ----------------------------------------------------------------------
+def _fusion_sites(model: Any, named: Iterable[tuple[str, Any]]) -> dict[str, str]:
+    """``{layer_path: activation}`` for layers the model graph follows
+    with a fusible activation.
+
+    The fusion planning pass of :meth:`QuantModel.compile`: these are
+    the sites where pinning the ``"compiled"`` engine folds the next
+    activation into the GEMM epilogue (and the forward pass then skips
+    its own activation step).  Recognised today: transformer
+    feed-forward first projections (``...ffn.ff1`` -> ReLU) and
+    :class:`QuantMLP` hidden layers (``fc.<i>`` -> ReLU, all but the
+    last).
+    """
+    sites: dict[str, str] = {}
+    for name, _ in named:
+        if name.endswith("ffn.ff1"):
+            sites[name] = "relu"
+    if isinstance(model, QuantMLP):
+        last = len(model.fc) - 1
+        for name, _ in named:
+            head, _, idx = name.rpartition(".")
+            if head == "fc" and idx.isdigit() and int(idx) < last:
+                sites[name] = "relu"
+    return sites
+
+
 class QuantModel:
     """A quantized model plus its config: the pre-planning handle."""
 
@@ -405,6 +437,16 @@ class QuantModel:
         Compiling again re-pins the shared layers; any previously
         returned :class:`CompiledModel` is superseded and refuses to
         serve (quantize a fresh model to hold two compilations live).
+
+        **Fusion planning.**  Layers the model graph follows with a
+        fusible activation (:func:`_fusion_sites`) are additionally
+        priced with the ``"compiled"`` engine's fused epilogue in the
+        candidate pool; where it wins, the layer is pinned with
+        ``spec.fuse`` set and the forward pass skips its separate
+        activation step.  Fused and unfused execution are bit-identical
+        -- but the activation now runs *inside* the layer call, so
+        step-by-step hooks observing intermediate tensors may see the
+        reordering.
         """
         hint = (
             batch_hint
@@ -418,9 +460,12 @@ class QuantModel:
             batch_hint=hint,
             planner=planner,
             machine=machine,
+            fusions=_fusion_sites(self.model, self._layers),
         )
         for plan, (_, layer) in zip(plans, self._layers):
-            layer.pin_backend(plan.backend, batch_hint=hint)
+            layer.pin_backend(
+                plan.backend, batch_hint=hint, fuse=plan.spec.fuse
+            )
         self._compile_generation += 1
         return CompiledModel(self, plans, hint)
 

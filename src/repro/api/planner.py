@@ -12,11 +12,17 @@ process-wide plan cache: a BERT-large pass prices each *distinct*
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro._util import check_positive_int
 from repro.api.config import QuantConfig
-from repro.engine import AUTO_BACKEND, QuantSpec, plan_backend, plan_costs
+from repro.engine import (
+    AUTO_BACKEND,
+    QuantSpec,
+    lossless_engines,
+    plan_backend,
+    plan_costs,
+)
 from repro.hw.costmodel import CostEstimate
 
 __all__ = [
@@ -64,6 +70,7 @@ def plan_layers(
     batch_hint: int = 1,
     planner: str | None = None,
     machine: str | None = None,
+    fusions: Mapping[str, str] | None = None,
 ) -> list[LayerPlan]:
     """Plan every ``(name, m, n)`` shape under *config* in one pass.
 
@@ -72,15 +79,43 @@ def plan_layers(
     via :func:`repro.engine.dispatch.plan_backend` at *batch_hint*.
     *planner* / *machine* override the config for this pass only (the
     ``CompiledModel.compile(planner="autotune")`` path).
+
+    *fusions* maps layer names to the activation that follows them in
+    the model graph (:meth:`QuantModel.compile`'s fusion planning
+    pass).  An ``"auto"`` layer at a fusion site is priced twice: once
+    with the fused ``"compiled"`` engine in the candidate pool and once
+    without.  The fused spec sticks only when ``"compiled"`` actually
+    wins -- otherwise the decision among the lossless engines is
+    unchanged by the extra candidate, so the default plan is reused
+    verbatim and no layer regresses from having been considered for
+    fusion.
     """
     check_positive_int(batch_hint, "batch_hint")
+    fusions = fusions or {}
     plans: list[LayerPlan] = []
     for name, m, n in shapes:
         spec = _effective_spec(
             config.spec_for(name), planner=planner, machine=machine
         )
         if spec.backend == AUTO_BACKEND:
-            backend = plan_backend(m, n, spec=spec, batch_hint=batch_hint)
+            act = fusions.get(name)
+            if act is not None and spec.fuse is None:
+                trial = replace(spec, fuse=act)
+                backend = plan_backend(
+                    m,
+                    n,
+                    spec=trial,
+                    batch_hint=batch_hint,
+                    candidates=lossless_engines() + ("compiled",),
+                )
+                if backend == "compiled":
+                    spec = trial
+                else:
+                    backend = plan_backend(
+                        m, n, spec=spec, batch_hint=batch_hint
+                    )
+            else:
+                backend = plan_backend(m, n, spec=spec, batch_hint=batch_hint)
         else:
             backend = spec.backend
         plans.append(

@@ -5,9 +5,15 @@ Usage::
     python -m repro.bench list
     python -m repro.bench table4
     python -m repro.bench all --quick --out results/
+    python -m repro.bench steady_state --emit-json
+    python -m repro.bench compare compiled_kernels
 
 ``all`` runs every registered experiment; ``--out`` additionally writes
-one ``<experiment>.txt`` artifact per experiment.
+one ``<experiment>.txt`` artifact per experiment.  ``--emit-json``
+writes the experiment's ``BENCH_<experiment>.json`` perf-trajectory
+record at the repo root (hot-path experiments only); ``compare``
+re-measures an experiment and fails (exit 1) when a gated metric
+regresses past the committed baseline by more than ``--threshold``.
 """
 
 from __future__ import annotations
@@ -18,6 +24,13 @@ from pathlib import Path
 
 from repro.bench.registry import EXPERIMENTS, run_experiment
 from repro.bench.report import render_table
+from repro.bench.trajectory import (
+    collect_metrics,
+    compare_metrics,
+    load_trajectory,
+    trajectory_path,
+    write_trajectory,
+)
 
 __all__ = ["main"]
 
@@ -29,13 +42,40 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id, 'all', or 'list' "
+        help="experiment id, 'all', 'list', or 'compare' "
         f"(ids: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="for 'compare': the experiment whose committed "
+        "BENCH_<experiment>.json baseline to diff against",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="shrink sweeps for a fast smoke run",
+    )
+    parser.add_argument(
+        "--emit-json",
+        action="store_true",
+        help="also write BENCH_<experiment>.json at the repo root "
+        "(perf trajectory; hot-path experiments only)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="for 'compare': allowed relative regression on gated "
+        "metrics (default 0.10)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="for 'compare': baseline JSON path (defaults to the "
+        "committed BENCH_<experiment>.json)",
     )
     parser.add_argument(
         "--out",
@@ -52,6 +92,43 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _compare(args) -> int:
+    if args.target is None:
+        print("error: compare needs an experiment id", file=sys.stderr)
+        return 2
+    baseline_path = args.baseline or trajectory_path(args.target)
+    if not baseline_path.exists():
+        print(
+            f"error: no committed baseline at {baseline_path}; generate "
+            f"one with 'python -m repro.bench {args.target} --emit-json'",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = load_trajectory(baseline_path)
+    try:
+        current = collect_metrics(args.target, quick=args.quick)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = compare_metrics(
+        current, baseline, threshold=args.threshold
+    )
+    gated = baseline.get("gated", [])
+    for name in gated:
+        cur = current["metrics"].get(name)
+        base = baseline["metrics"].get(name)
+        print(f"{args.target}.{name}: current={cur} baseline={base}")
+    if problems:
+        for line in problems:
+            print(f"REGRESSION {args.target}.{line}", file=sys.stderr)
+        return 1
+    print(
+        f"compare {args.target}: {len(gated)} gated metric(s) within "
+        f"{args.threshold:.0%} of baseline"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _parser().parse_args(argv)
@@ -59,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    if args.experiment == "compare":
+        return _compare(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
@@ -77,6 +156,13 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(text)
+        if args.emit_json:
+            try:
+                path = write_trajectory(name, quick=args.quick)
+            except ValueError:
+                print(f"(no trajectory collector for {name}; JSON skipped)")
+            else:
+                print(f"wrote {path}")
     return 0
 
 

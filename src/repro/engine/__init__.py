@@ -11,9 +11,11 @@ best kernel is situational (BiQGEMM at small batch, BLAS at large).
   :class:`QuantSpec`, :class:`EngineBuildRequest`;
 - :mod:`repro.engine.registry` -- string-keyed
   :class:`EngineEntry` registry with build/cost/serialize hooks;
-- :mod:`repro.engine.adapters` -- registrations for the six engines
-  (``biqgemm``, ``dense``, ``container``, ``unpack``, ``xnor``,
-  ``int8``);
+- :mod:`repro.engine.adapters` -- registrations for the six baseline
+  engines (``biqgemm``, ``dense``, ``container``, ``unpack``,
+  ``xnor``, ``int8``);
+- :mod:`repro.engine.compiled` -- the seventh engine: per-shape
+  specialized fused traces (``compiled``);
 - :mod:`repro.engine.dispatch` -- the planner, its plan cache, and
   the Fig. 10 crossover probe.
 
@@ -44,6 +46,7 @@ from repro.engine.registry import (
     weight_required,
 )
 from repro.engine import adapters as _adapters  # populate the registry
+from repro.engine import compiled as _compiled  # the seventh engine
 from repro.engine.dispatch import (
     batch_bucket,
     batch_buckets,
@@ -58,6 +61,7 @@ from repro.engine.dispatch import (
 )
 
 del _adapters
+del _compiled
 
 __all__ = [
     "AUTO_BACKEND",

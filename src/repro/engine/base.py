@@ -46,7 +46,8 @@ AUTO_BACKEND = "auto"
 """Sentinel backend name resolved by the dispatch planner."""
 
 Backend = Literal[
-    "auto", "biqgemm", "xnor", "unpack", "container", "dense", "int8"
+    "auto", "biqgemm", "xnor", "unpack", "container", "dense", "int8",
+    "compiled",
 ]
 
 
@@ -129,6 +130,12 @@ class QuantSpec:
         ``"model"`` prices candidates with the roofline cost model;
         ``"autotune"`` micro-benchmarks them on this host via
         :func:`repro.core.autotune.empirical_backend`.
+    fuse:
+        Name of the activation fused into the engine's epilogue
+        (``"relu"``, ``"gelu"``, ``"sigmoid"`` or ``"tanh"``), or
+        ``None`` for a plain matmul.  Only the ``compiled`` backend
+        honours it; :meth:`repro.api.model.QuantModel.compile`
+        discovers fusion sites from the model structure and sets it.
     """
 
     bits: int = 3
@@ -139,6 +146,7 @@ class QuantSpec:
     machine: str = "pc"
     batch_hint: int | None = None
     planner: Literal["model", "autotune"] = "model"
+    fuse: str | None = None
 
 
 @dataclass
@@ -159,6 +167,9 @@ class EngineBuildRequest:
     spec: QuantSpec
     weight: np.ndarray | None = None
     bcq: BCQTensor | None = field(default=None)
+    # Layer bias, for engines with a fused epilogue (``compiled``);
+    # engines without one ignore it and the layer adds bias itself.
+    bias: np.ndarray | None = None
     # Serving replicas share one request across worker threads; the lock
     # keeps the lazy BCQ solve single-flight.
     _lock: threading.Lock = field(

@@ -68,6 +68,11 @@ def validate_spec(spec: QuantSpec) -> QuantSpec:
         )
     if spec.batch_hint is not None:
         check_positive_int(spec.batch_hint, "batch_hint")
+    fuse = getattr(spec, "fuse", None)
+    if fuse is not None:
+        from repro.nn.functional import activation_fn
+
+        activation_fn(fuse)  # raises on unknown activation names
     if spec.backend != AUTO_BACKEND:
         engine_entry(spec.backend)  # raises on unknown backend names
         return spec
@@ -134,6 +139,10 @@ class _PlanKey:
     machine: MachineConfig
     planner: str
     candidates: tuple[str, ...]
+    # A fused and an unfused plan for the same (m, n, bits) must never
+    # share a cache line: the compiled engine's fusion credit changes
+    # the cost ranking.
+    fuse: str | None = None
 
 
 _PLAN_CACHE: dict[_PlanKey, str] = {}
@@ -228,6 +237,7 @@ def plan_backend(
         machine=mc,
         planner=spec.planner,
         candidates=tuple(names),
+        fuse=getattr(spec, "fuse", None),
     )
     if use_cache:
         with _CACHE_LOCK:

@@ -73,6 +73,12 @@ class EngineEntry:
     lossless:
         True when the engine reproduces the exact BCQ product; only
         lossless engines are ``"auto"`` candidates.
+    auto_candidate:
+        True when the engine should be offered to the ``"auto"``
+        planner by default.  Specialized engines (``compiled``) set
+        this False: they are lossless, but only enter a plan when a
+        caller extends the candidate list explicitly (the fusion pass
+        in :meth:`repro.api.model.QuantModel.compile` does).
     needs_weight:
         True when ``build`` requires the original float weight (via
         :meth:`~repro.engine.base.EngineBuildRequest.get_weight`)
@@ -97,6 +103,7 @@ class EngineEntry:
     build: BuildFn
     cost: CostFn | None = None
     lossless: bool = True
+    auto_candidate: bool = True
     needs_weight: bool = False
     supports_out: bool = False
     description: str = ""
@@ -134,9 +141,18 @@ def registered_engines() -> tuple[str, ...]:
 
 
 def lossless_engines() -> tuple[str, ...]:
-    """Backends computing the exact BCQ product (the ``auto`` candidates)."""
+    """Backends computing the exact BCQ product (the ``auto`` candidates).
+
+    Excludes lossless engines registered with ``auto_candidate=False``
+    (``compiled``) -- those enter plans only via explicit candidate
+    lists, keeping the default planning regimes stable.
+    """
     return tuple(
-        sorted(name for name, e in _REGISTRY.items() if e.lossless)
+        sorted(
+            name
+            for name, e in _REGISTRY.items()
+            if e.lossless and e.auto_candidate
+        )
     )
 
 

@@ -49,6 +49,7 @@ __all__ = [
     "estimate_backend",
     "estimate_gemm",
     "estimate_biqgemm",
+    "estimate_compiled",
     "estimate_xnor",
     "estimate_packed_gemm",
     "estimate_int8_gemm",
@@ -205,6 +206,65 @@ def estimate_biqgemm(
         key_s=key_s,
         lookups=lookups,
         key_bytes=float(key_bytes),
+    )
+
+
+def estimate_compiled(
+    machine: MachineConfig,
+    m: int,
+    n: int,
+    b: int,
+    *,
+    bits: int = 1,
+    mu: int = 8,
+    threads: int = 1,
+    fuse: str | None = None,
+) -> CostEstimate:
+    """Cost of the per-shape specialized (``compiled``) BiQGEMM trace.
+
+    Same arithmetic as :func:`estimate_biqgemm`, with the specialization
+    wins priced in:
+
+    - the key address-generation term vanishes -- gather indices are
+      materialized once at build time, not decoded per call;
+    - per-call overhead shrinks: the trace carries no shape checks,
+      reshape decisions, workspace negotiation or dtype promotion
+      (everything is pre-resolved into the closure);
+    - with a fused epilogue (*fuse*), the bias+activation run inside the
+      query pass, so the output-sized memory round trip a separate
+      activation pass would pay is credited back; the epilogue's own
+      elementwise ops are charged at half the FMA rate.
+    """
+    base = estimate_biqgemm(
+        machine, m, n, b, bits=bits, mu=mu, threads=threads
+    )
+    t = machine.tuning
+    units = machine.units_engaged(threads)
+    epilogue_ops = 0.0
+    nbytes = base.bytes
+    if fuse is not None:
+        # ~4 elementwise ops per output element (bias add + activation).
+        epilogue_ops = 4.0 * m * b
+        # One output-sized write+read no longer hits memory separately.
+        nbytes = max(0.0, nbytes - 4.0 * m * b)
+    epilogue_s = epilogue_ops / (machine.flops_per_unit * units * 0.5)
+    compute = (
+        base.detail["build_s"] + base.detail["query_s"] + epilogue_s
+    )
+    memory = nbytes / _bw(machine, threads)
+    overhead = t.overhead_kernel_s * 0.5
+    return _finish(
+        compute,
+        memory,
+        overhead,
+        base.ops + epilogue_ops,
+        nbytes,
+        build_s=base.detail["build_s"],
+        query_s=base.detail["query_s"],
+        epilogue_s=epilogue_s,
+        lookups=base.detail["lookups"],
+        key_bytes=base.detail["key_bytes"],
+        fused=0.0 if fuse is None else 1.0,
     )
 
 
@@ -394,6 +454,7 @@ def estimate_backend(
     mu: int = 8,
     a_bits: int = 1,
     threads: int = 1,
+    fuse: str | None = None,
 ) -> CostEstimate:
     """Price one multiply of a *layer-level* backend (QuantSpec names).
 
@@ -404,6 +465,8 @@ def estimate_backend(
     layer implementations actually run:
 
     - ``biqgemm``: Eq. 8 with *bits* key planes sharing tables;
+    - ``compiled``: the specialized trace (no key decode, reduced
+      overhead, optional fused epilogue priced by *fuse*);
     - ``dense``: one dequantized-weight BLAS GEMM;
     - ``container``: *bits* sGEMM planes (one 32-bit container per
       binary weight, paper Fig. 9);
@@ -414,6 +477,10 @@ def estimate_backend(
     check_positive_int(bits, "bits", upper=8)
     if backend == "biqgemm":
         return estimate_biqgemm(machine, m, n, b, bits=bits, mu=mu, threads=threads)
+    if backend == "compiled":
+        return estimate_compiled(
+            machine, m, n, b, bits=bits, mu=mu, threads=threads, fuse=fuse
+        )
     if backend == "dense":
         return estimate_gemm(machine, m, n, b, threads=threads)
     if backend == "container":
@@ -439,7 +506,8 @@ def estimate_backend(
         return estimate_int8_gemm(machine, m, n, b, threads=threads)
     raise ValueError(
         f"unknown backend {backend!r}; expected one of "
-        "['biqgemm', 'container', 'dense', 'int8', 'unpack', 'xnor']"
+        "['biqgemm', 'compiled', 'container', 'dense', 'int8', 'unpack', "
+        "'xnor']"
     )
 
 

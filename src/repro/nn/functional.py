@@ -11,7 +11,17 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["softmax", "layer_norm", "relu", "gelu", "sigmoid", "tanh"]
+__all__ = [
+    "softmax",
+    "layer_norm",
+    "relu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "FUSIBLE_ACTIVATIONS",
+    "activation_fn",
+    "activation_result_dtype",
+]
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -41,23 +51,73 @@ def layer_norm(
     return out
 
 
-def relu(x: np.ndarray) -> np.ndarray:
-    """Rectified linear unit."""
-    return np.maximum(np.asarray(x), 0)
+def _activation_out(arr: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    """Validate an activation destination against the promoted input."""
+    if out.shape != arr.shape:
+        raise ValueError(
+            f"out must have shape {arr.shape}, got {out.shape}"
+        )
+    if out.dtype != arr.dtype:
+        raise ValueError(
+            f"out dtype {out.dtype} != activation dtype {arr.dtype}"
+        )
+    if not out.flags.writeable:
+        raise ValueError("out must be writeable")
+    return out
 
 
-def gelu(x: np.ndarray) -> np.ndarray:
-    """Gaussian error linear unit (tanh approximation, BERT-style)."""
+def relu(x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """Rectified linear unit.
+
+    Dtype-preserving.  With *out* the result is written in place (the
+    destination may alias *x*), eliminating the per-call allocation on
+    the serving hot path.
+    """
+    arr = np.asarray(x)
+    if out is None:
+        return np.maximum(arr, 0)
+    return np.maximum(arr, 0, out=_activation_out(arr, out))
+
+
+def gelu(x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, BERT-style).
+
+    Promotes to float64.  The *out* path chains the same ufunc sequence
+    in place -- bit-identical to the allocating form -- but *out* must
+    not alias *x* (the input is read after *out* is first written).
+    """
     arr = np.asarray(x, dtype=np.float64)
-    return 0.5 * arr * (
-        1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (arr + 0.044715 * arr**3))
-    )
+    if out is None:
+        return 0.5 * arr * (
+            1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (arr + 0.044715 * arr**3))
+        )
+    out = _activation_out(arr, out)
+    if np.may_share_memory(out, arr):
+        raise ValueError("gelu out must not alias x")
+    # Same op order as the allocating branch, so results stay
+    # bit-identical: inner = tanh(sqrt(2/pi) * (arr + 0.044715*arr**3)).
+    inner = arr**3
+    inner *= 0.044715
+    inner += arr
+    inner *= np.sqrt(2.0 / np.pi)
+    np.tanh(inner, out=inner)
+    inner += 1.0
+    np.multiply(0.5, arr, out=out)
+    np.multiply(out, inner, out=out)
+    return out
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Logistic sigmoid, numerically stable on both tails."""
+def sigmoid(x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """Logistic sigmoid, numerically stable on both tails.
+
+    Promotes to float64.  *out* may alias *x*: each element is read
+    exactly once before its slot is written.
+    """
     arr = np.asarray(x, dtype=np.float64)
-    out = np.empty_like(arr)
+    if out is None:
+        out = np.empty_like(arr)
+    else:
+        out = _activation_out(arr, out)
     pos = arr >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-arr[pos]))
     ez = np.exp(arr[~pos])
@@ -65,6 +125,46 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     return out
 
 
-def tanh(x: np.ndarray) -> np.ndarray:
-    """Hyperbolic tangent."""
-    return np.tanh(np.asarray(x, dtype=np.float64))
+def tanh(x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """Hyperbolic tangent.  Promotes to float64; *out* may alias *x*."""
+    arr = np.asarray(x, dtype=np.float64)
+    if out is None:
+        return np.tanh(arr)
+    return np.tanh(arr, out=_activation_out(arr, out))
+
+
+FUSIBLE_ACTIVATIONS: dict[str, object] = {
+    "relu": relu,
+    "gelu": gelu,
+    "sigmoid": sigmoid,
+    "tanh": tanh,
+}
+"""Activations the ``compiled`` engine can fuse into its epilogue.
+
+Every entry accepts ``out=`` and, given the same float input, produces
+results bit-identical to its allocating form -- the property the
+fusion bit-identity tests pin.
+"""
+
+
+def activation_fn(name: str):
+    """Look up a fusible activation by name."""
+    try:
+        return FUSIBLE_ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fusible activation {name!r}; expected one of "
+            f"{sorted(FUSIBLE_ACTIVATIONS)}"
+        ) from None
+
+
+def activation_result_dtype(name: str, dtype) -> np.dtype:
+    """Result dtype of activation *name* applied to *dtype* input.
+
+    ``relu`` preserves the input dtype; the transcendental activations
+    promote to float64 (matching their allocating forms above).
+    """
+    activation_fn(name)  # validate
+    if name == "relu":
+        return np.dtype(dtype)
+    return np.dtype(np.float64)

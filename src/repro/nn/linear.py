@@ -67,6 +67,9 @@ __all__ = [
 
 _SPEC_FIELD_NAMES = tuple(f.name for f in fields(QuantSpec))
 
+# Sentinel for pin_backend(fuse=...): "leave the spec's fuse as is".
+_KEEP = object()
+
 
 def _check_bias(bias, m: int):
     """Validate a bias vector, preserving its floating dtype.
@@ -216,7 +219,7 @@ class QuantLinear:
         self.bias = _check_bias(bias, w.shape[0])
         validate_spec(spec)
         self.spec = spec
-        self._request = EngineBuildRequest(spec=spec, weight=w)
+        self._request = EngineBuildRequest(spec=spec, weight=w, bias=self.bias)
         if not weight_required(spec):
             # Solves BCQ (the state every reachable backend builds
             # from) and drops the float weight.  Backends that fit
@@ -265,7 +268,9 @@ class QuantLinear:
         obj.spec = spec
         bcq = getattr(engine, "bcq", None)
         obj._request = (
-            EngineBuildRequest(spec=spec, bcq=bcq) if bcq is not None else None
+            EngineBuildRequest(spec=spec, bcq=bcq, bias=obj.bias)
+            if bcq is not None
+            else None
         )
         obj._shape = (int(m), int(n))
         obj._engines = {spec.backend: engine}
@@ -303,7 +308,7 @@ class QuantLinear:
         obj.bias = self.bias
         obj.spec = spec
         obj._request = EngineBuildRequest(
-            spec=spec, bcq=self._request.get_bcq()
+            spec=spec, bcq=self._request.get_bcq(), bias=self.bias
         )
         obj._shape = self._shape
         obj._engines = {}
@@ -376,7 +381,11 @@ class QuantLinear:
         return resolve_backend(self.spec, *self._shape, batch)
 
     def pin_backend(
-        self, backend: str, *, batch_hint: int | None = None
+        self,
+        backend: str,
+        *,
+        batch_hint: int | None = None,
+        fuse: str | None = _KEEP,
     ) -> None:
         """Freeze this layer onto *backend* (the compile step's pin).
 
@@ -384,13 +393,41 @@ class QuantLinear:
         call resolves to the pinned engine without consulting the
         planner -- plans survive :func:`~repro.engine.clear_plan_cache`.
         Already-compiled engines stay cached.
+
+        *fuse* sets the epilogue activation fused into a ``"compiled"``
+        engine (the fusion planning pass of
+        :meth:`repro.api.QuantModel.compile`).  Omitting it keeps the
+        spec's current value; passing a different value evicts any
+        cached ``"compiled"`` engine, which baked the old epilogue in
+        at build time.
         """
         engine_entry(backend)
-        new = replace(self.spec, backend=backend, batch_hint=batch_hint)
+        if fuse is _KEEP:
+            fuse = self.spec.fuse
+        new = replace(
+            self.spec, backend=backend, batch_hint=batch_hint, fuse=fuse
+        )
         validate_spec(new)
+        if fuse != self.spec.fuse:
+            with self._build_lock:
+                self._engines.pop("compiled", None)
         self.spec = new
         if self._request is not None:
             self._request.spec = new
+
+    @property
+    def fused_activation(self) -> str | None:
+        """Activation folded into the engine's epilogue, if any.
+
+        Non-None only when the layer is pinned on an engine that
+        actually fuses (the engine, not the backend name, is asked):
+        model forward passes skip their own activation step for such
+        layers.
+        """
+        if self.spec.fuse is None:
+            return None
+        engine = self.engine_for(self.spec.batch_hint or 1)
+        return getattr(engine, "activation", None)
 
     @property
     def compiled_backends(self) -> tuple[str, ...]:
@@ -463,6 +500,15 @@ class QuantLinear:
             if workspace is not None
             else None
         )
+        if getattr(engine, "fused_epilogue", False):
+            # Bias and activation already ran inside the engine's
+            # epilogue; folding them again here would double-apply.
+            rdt = engine.result_dtype(cols.dtype)
+            if matmul_into is not None:
+                out_cols = workspace.acquire("linear.out", (m, tokens), rdt)
+                matmul_into(cols, out=out_cols, workspace=workspace)
+                return out_cols.T.reshape(lead + (m,))
+            return engine.matmul(cols).T.reshape(lead + (m,))
         if matmul_into is not None:
             # The engine writes its natural C-contiguous (m, tokens)
             # layout (fast row-slice accumulation); the bias fold then

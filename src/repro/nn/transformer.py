@@ -39,6 +39,17 @@ __all__ = [
 ]
 
 
+def _ff_block(ff1, ff2, h: np.ndarray) -> np.ndarray:
+    """``ff2(relu(ff1(h)))`` with the ReLU skipped when ``ff1``'s
+    engine already fused it into its epilogue (bit-identical either
+    way); unfused, the ReLU runs in place on ``ff1``'s output buffer.
+    """
+    inner = ff1(h)
+    if getattr(ff1, "fused_activation", None) is None:
+        inner = relu(inner, out=inner)
+    return ff2(inner)
+
+
 @dataclass(frozen=True)
 class TransformerConfig:
     """Architecture hyper-parameters.
@@ -98,7 +109,7 @@ class TransformerEncoderLayer:
     ) -> np.ndarray:
         """Apply to ``(batch, seq, dim)`` activations."""
         h = layer_norm(x + self.attn(x, mask=mask))
-        return layer_norm(h + self.ff2(relu(self.ff1(h))))
+        return layer_norm(h + _ff_block(self.ff1, self.ff2, h))
 
 
 class TransformerDecoderLayer:
@@ -147,7 +158,7 @@ class TransformerDecoderLayer:
             self_mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
         h = layer_norm(x + self.self_attn(x, mask=self_mask))
         h = layer_norm(h + self.cross_attn(h, memory))
-        return layer_norm(h + self.ff2(relu(self.ff1(h))))
+        return layer_norm(h + _ff_block(self.ff1, self.ff2, h))
 
 
 class TransformerEncoder:

@@ -30,12 +30,27 @@ def _compiled(batch_hint=1, layers=1, seed=0):
 
 class TestCompilePlans:
     def test_plans_match_direct_plan_backend(self):
-        """Acceptance pin: one compile pass == per-layer planner calls."""
+        """Acceptance pin: one compile pass == per-layer planner calls
+        (fusion sites additionally price the fused compiled engine and
+        take it only where it wins)."""
+        from dataclasses import replace
+
+        from repro.engine import lossless_engines
+
         compiled = _compiled(batch_hint=1)
         for plan in compiled.layer_plans:
-            expected = plan_backend(
-                plan.m, plan.n, spec=CFG.spec_for(plan.name), batch_hint=1
-            )
+            spec = CFG.spec_for(plan.name)
+            expected = plan_backend(plan.m, plan.n, spec=spec, batch_hint=1)
+            if plan.name.endswith("ffn.ff1"):
+                fused = plan_backend(
+                    plan.m,
+                    plan.n,
+                    spec=replace(spec, fuse="relu"),
+                    batch_hint=1,
+                    candidates=lossless_engines() + ("compiled",),
+                )
+                if fused == "compiled":
+                    expected = fused
             assert plan.backend == expected, plan.name
 
     def test_override_changes_the_plan_inputs(self):
@@ -68,7 +83,7 @@ class TestCompilePlans:
             CFG,
         ).compile(batch_hint=1, machine="v100")
         for _, layer in compiled.named_layers():
-            assert layer.spec.backend in ("biqgemm", "dense")
+            assert layer.spec.backend in ("biqgemm", "dense", "compiled")
 
     def test_outputs_match_direct_quantized_model(self, rng):
         spec = QuantSpec(bits=2, mu=4, backend="biqgemm")

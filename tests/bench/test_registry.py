@@ -28,6 +28,7 @@ class TestRegistry:
             "mu", "lut_build", "tiling", "threads",
             "models", "shared", "cache", "qat",
             "dispatch", "model_compile", "serve", "steady_state",
+            "compiled_kernels",
         }
         assert expected == set(EXPERIMENTS)
 

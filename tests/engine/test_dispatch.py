@@ -159,6 +159,31 @@ class TestPlanCache:
         assert a8 == fresh_a8
         del a1
 
+    def test_fused_and_unfused_specs_get_distinct_entries(self):
+        # The compiled engine only prices (and only exists) for fused
+        # specs; a fused plan served to an unfused spec -- or vice
+        # versa -- would pin the wrong engine.  The cache key must
+        # include ``fuse``.
+        cands = ("biqgemm", "dense", "compiled")
+        fused = plan_backend(
+            1024, 1024, spec=QuantSpec(bits=1, fuse="relu"),
+            batch_hint=1, candidates=cands,
+        )
+        unfused = plan_backend(
+            1024, 1024, spec=QuantSpec(bits=1),
+            batch_hint=1, candidates=cands,
+        )
+        assert plan_cache_stats()["size"] == 2
+        for spec, cached in (
+            (QuantSpec(bits=1, fuse="relu"), fused),
+            (QuantSpec(bits=1), unfused),
+        ):
+            fresh = plan_backend(
+                1024, 1024, spec=spec, batch_hint=1,
+                candidates=cands, use_cache=False,
+            )
+            assert cached == fresh, spec.fuse
+
     def test_distinct_shapes_get_distinct_entries(self):
         spec = QuantSpec(bits=3)
         plan_backend(256, 256, spec=spec, batch_hint=1)

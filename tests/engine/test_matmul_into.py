@@ -24,7 +24,7 @@ from repro.engine import (
 )
 from repro.nn.linear import QuantLinear
 
-OUT_BACKENDS = ("biqgemm", "dense", "container", "unpack")
+OUT_BACKENDS = ("biqgemm", "dense", "container", "unpack", "compiled")
 FALLBACK_BACKENDS = ("xnor", "int8")
 
 
