@@ -1,0 +1,100 @@
+"""Trace a serving run end to end and read the drift report.
+
+Runs in a few seconds::
+
+    python examples/observe_serve.py
+
+Turns on :mod:`repro.obs` (request tracing + cost-model drift
+telemetry), serves a small quantized MLP under concurrent clients, and
+then reads back everything the run produced:
+
+- ``observe_trace.json`` -- chrome://tracing / Perfetto trace-event
+  JSON.  Open it at https://ui.perfetto.dev: each request is a
+  ``serve.admit`` -> ``serve.queue`` span pair on the client thread, a
+  worker's ``serve.batch`` span links every request it coalesced, and
+  the execution bottoms out in per-layer ``engine.matmul`` and the
+  paper's Fig. 8 ``kernel.build`` / ``kernel.query`` /
+  ``kernel.replace`` phases.
+- the Prometheus exposition of the unified metrics registry (what
+  ``GET /metrics?format=prometheus`` serves);
+- ``observe_drift.json`` plus its rendered report -- the cost model's
+  predicted seconds next to measured wall time per (engine, shape,
+  batch-bucket), ranked by planner regret (``python -m repro.obs
+  report observe_drift.json`` reads the same file).
+"""
+
+import collections
+import threading
+
+import numpy as np
+
+import repro.obs as obs
+from repro.api import QuantConfig, QuantMLP, quantize
+from repro.nn.linear import Linear
+from repro.obs.drift import get_recorder
+from repro.obs.metrics import get_registry
+from repro.obs.report import build_report, format_report
+from repro.obs.trace import get_tracer
+from repro.serve import ServeConfig, Server
+
+TRACE_FILE = "observe_trace.json"
+DRIFT_FILE = "observe_drift.json"
+
+
+def main() -> None:
+    obs.enable(tracing=True, drift=True, clear=True)
+    rng = np.random.default_rng(0)
+
+    dims = (32, 64, 10)
+    mlp = QuantMLP(
+        [
+            Linear(rng.standard_normal((m, n)), rng.standard_normal(m))
+            for n, m in zip(dims[:-1], dims[1:])
+        ]
+    )
+    # Force the LUT engine so the trace reaches the kernel phases.
+    compiled = quantize(
+        mlp, QuantConfig(bits=3, mu=4, backend="biqgemm")
+    ).compile(batch_hint=8)
+
+    server = Server(
+        config=ServeConfig(workers=2, max_batch=8, max_latency_ms=2.0)
+    )
+    server.add_model("mlp", compiled)
+    server.start()
+
+    def client() -> None:
+        x = rng.standard_normal(dims[0]).astype(np.float32)
+        server.predict("mlp", x, timeout=10.0)
+
+    threads = [threading.Thread(target=client) for _ in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Scrape before stop(): teardown prunes the per-model serve series
+    # (a scrape must never report a model that no longer serves).
+    prometheus = get_registry().to_prometheus()
+    server.stop()
+
+    tracer = get_tracer()
+    tracer.save(TRACE_FILE)
+    names = collections.Counter(s.name for s in tracer.spans())
+    print(f"wrote {TRACE_FILE} ({tracer.stats()['retained']} spans):")
+    for name, count in sorted(names.items()):
+        print(f"  {count:>4} x {name}")
+
+    print("\nmetrics (prometheus exposition, excerpt):")
+    for line in prometheus.splitlines():
+        if line.startswith(("repro_serve_", "repro_plan_cache_")):
+            print(f"  {line}")
+
+    get_recorder().save(DRIFT_FILE)
+    print(f"\nwrote {DRIFT_FILE}; report:\n")
+    print(format_report(build_report(get_recorder().snapshot())))
+
+    obs.disable()
+
+
+if __name__ == "__main__":
+    main()

@@ -43,10 +43,12 @@ from repro.api.planner import (
     LayerPlan,
     ModelCostReport,
     cost_report,
+    layer_cost,
     plan_layers,
 )
 from repro.core.workspace import Workspace, use_workspace
 from repro.engine import QuantSpec, batch_bucket, batch_buckets
+from repro.obs import runtime as _obs
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.conv import QuantConv2d
 from repro.nn.functional import relu
@@ -466,6 +468,31 @@ class QuantModel:
             layer.pin_backend(
                 plan.backend, batch_hint=hint, fuse=plan.spec.fuse
             )
+        if _obs.DRIFT:
+            # Drift telemetry: park each pinned plan's predicted cost on
+            # the key serving measurements will land on.  plan_backend
+            # already records all candidates on plan-cache misses; this
+            # covers plans resolved from warm cache lines.
+            from repro.obs.drift import record_prediction
+
+            bucket = batch_bucket(hint)
+            for plan in plans:
+                estimate = layer_cost(plan, batch_hint=hint)
+                if estimate is None:
+                    continue
+                record_prediction(
+                    plan.backend,
+                    plan.m,
+                    plan.n,
+                    plan.spec.bits,
+                    bucket,
+                    estimate.seconds,
+                    mu=plan.spec.mu,
+                    a_bits=plan.spec.a_bits,
+                    machine=plan.spec.machine
+                    if isinstance(plan.spec.machine, str)
+                    else getattr(plan.spec.machine, "name", "pc"),
+                )
         self._compile_generation += 1
         return CompiledModel(self, plans, hint)
 
@@ -657,7 +684,16 @@ class CompiledModel:
         squeeze = arr.ndim == 1
         if squeeze:
             arr = arr[None, :]
-        out = self._forward(arr, args, kwargs)
+        if _obs.TRACING:
+            from repro.obs.trace import span
+
+            with span(
+                "model.forward",
+                batch=int(arr.shape[0]) if arr.ndim else 1,
+            ):
+                out = self._forward(arr, args, kwargs)
+        else:
+            out = self._forward(arr, args, kwargs)
         if squeeze:
             out = np.asarray(out)
             return out[0] if out.ndim and out.shape[0] == 1 else out

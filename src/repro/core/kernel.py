@@ -73,6 +73,11 @@ class BiQGemm:
     wins at GEMV-like batches anyway).
     """
 
+    accepts_profiler = True
+    """``matmul`` takes ``profiler=`` -- the traced layer path uses this
+    to route the shared :func:`repro.obs.kernel_profiler` (phase spans)
+    only to engines that understand it."""
+
     def __init__(self, key_matrix: KeyMatrix, alphas: np.ndarray | None = None):
         if not isinstance(key_matrix, KeyMatrix):
             raise TypeError(

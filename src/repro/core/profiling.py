@@ -141,6 +141,7 @@ class PhaseProfiler:
         *,
         track_allocations: bool = False,
         min_alloc_bytes: int = _DEFAULT_MIN_ALLOC,
+        span_prefix: str | None = None,
     ) -> None:
         self._lock = threading.Lock()
         self.seconds: dict[str, float] = {p: 0.0 for p in PHASES}
@@ -149,6 +150,12 @@ class PhaseProfiler:
         self.min_alloc_bytes = int(min_alloc_bytes)
         self.alloc_bytes: dict[str, int] = {p: 0 for p in PHASES}
         self.alloc_events: dict[str, int] = {p: 0 for p in PHASES}
+        # With span_prefix set, each phase occurrence also opens a
+        # ``<prefix><phase>`` span on the global tracer -- the bridge
+        # that puts the Fig. 8 build/query/replace decomposition on a
+        # live request timeline (``repro.obs.kernel_profiler`` uses
+        # prefix "kernel.").  No-op while tracing is disabled.
+        self.span_prefix = span_prefix
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -156,6 +163,12 @@ class PhaseProfiler:
         phase occurrence."""
         if name not in self.seconds:
             raise ValueError(f"unknown phase {name!r}; expected one of {PHASES}")
+        phase_span = None
+        if self.span_prefix is not None:
+            from repro.obs.trace import span as _span
+
+            phase_span = _span(self.span_prefix + name)
+            phase_span.__enter__()
         tracking = self.track_allocations and tracemalloc.is_tracing()
         if tracking:
             tracemalloc.reset_peak()
@@ -164,6 +177,8 @@ class PhaseProfiler:
         try:
             yield
         finally:
+            if phase_span is not None:
+                phase_span.__exit__(None, None, None)
             elapsed = time.perf_counter() - start
             delta = 0
             if tracking:

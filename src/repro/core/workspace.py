@@ -44,6 +44,7 @@ path of a single call may acquire worker-local buffers concurrently.
 from __future__ import annotations
 
 import threading
+import weakref
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -52,11 +53,43 @@ import numpy as np
 __all__ = [
     "CallScratch",
     "Workspace",
+    "aggregate_stats",
     "current_workspace",
     "use_workspace",
 ]
 
 _Key = tuple[str, tuple[int, ...], np.dtype]
+
+# Every live arena, for the process-wide metrics collector.  Weak so
+# registration never extends an arena's lifetime: a replica torn down
+# by the serving layer drops out of the aggregate on its own.
+_LIVE: "weakref.WeakSet[Workspace]" = weakref.WeakSet()
+_LIVE_LOCK = threading.Lock()
+
+
+def aggregate_stats() -> dict:
+    """Hit/miss/footprint totals across every live arena.
+
+    The pull-style feed for ``repro_workspace_*`` metrics
+    (:mod:`repro.obs.metrics`): summed at scrape time so the arenas'
+    hot ``acquire`` path carries no extra bookkeeping.
+    """
+    with _LIVE_LOCK:
+        arenas = list(_LIVE)
+    totals = {
+        "arenas": len(arenas),
+        "hits": 0,
+        "misses": 0,
+        "bytes_resident": 0,
+        "buffers": 0,
+    }
+    for arena in arenas:
+        stats = arena.stats()
+        totals["hits"] += stats["hits"]
+        totals["misses"] += stats["misses"]
+        totals["bytes_resident"] += stats["bytes_resident"]
+        totals["buffers"] += stats["buffers"]
+    return totals
 
 
 class Workspace:
@@ -91,6 +124,8 @@ class Workspace:
         self.hits = 0
         self.misses = 0
         self._nbytes = 0
+        with _LIVE_LOCK:
+            _LIVE.add(self)
 
     @staticmethod
     def _key(tag: str, shape, dtype) -> _Key:

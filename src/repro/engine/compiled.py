@@ -276,6 +276,12 @@ class CompiledKernelEngine:
     backend_name = "compiled"
     """Registry key of this engine in :mod:`repro.engine`."""
 
+    accepts_profiler = True
+    """``matmul`` forwards ``profiler=`` to the inner kernel.  Any
+    keyword argument opts the call out of the resident-trace fast path
+    (traces are compiled for the bare call), so profiled calls take the
+    fallback kernel -- phase timing and phase spans still cover them."""
+
     def __init__(
         self,
         inner: BiQGemm,

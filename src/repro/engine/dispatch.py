@@ -267,6 +267,29 @@ def plan_backend(
             candidates=names,
         )
         choice = min(costs, key=lambda name: costs[name].seconds)
+        from repro.obs import runtime as _rt
+
+        if _rt.DRIFT:
+            # Drift telemetry: park every candidate's predicted price
+            # on the (engine, shape-bucket) key the traced layer path
+            # will later attach measured wall time to.  Cache misses
+            # only, so the hot (cached) path never reaches here.
+            from repro.obs.drift import record_prediction
+
+            source = machine if machine is not None else spec.machine
+            machine_key = source if isinstance(source, str) else mc.name
+            for backend, estimate in costs.items():
+                record_prediction(
+                    backend,
+                    m,
+                    n,
+                    spec.bits,
+                    key.bucket,
+                    estimate.seconds,
+                    mu=spec.mu,
+                    a_bits=spec.a_bits,
+                    machine=machine_key,
+                )
     else:
         raise ValueError(
             f"planner must be 'model' or 'autotune', got {spec.planner!r}"

@@ -25,6 +25,7 @@ to the nn layer.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
@@ -40,6 +41,7 @@ from repro.hw.machine import MachineConfig
 __all__ = [
     "EngineEntry",
     "build_engine",
+    "engine_build_counts",
     "engine_entry",
     "lossless_engines",
     "out_capable_engines",
@@ -182,6 +184,33 @@ def weight_required(spec: QuantSpec) -> bool:
     )
 
 
+# Engine compiles are rare, heavy, offline-ish events (the paper's
+# deployment model builds once and serves forever), so unlike the
+# per-call hot paths they are always counted -- the metrics registry's
+# default collector publishes these as repro_engine_builds_total.
+_BUILD_COUNTS: dict[str, int] = {}
+_BUILD_COUNTS_LOCK = threading.Lock()
+
+
+def engine_build_counts() -> dict[str, int]:
+    """Lifetime :func:`build_engine` calls per backend."""
+    with _BUILD_COUNTS_LOCK:
+        return dict(_BUILD_COUNTS)
+
+
 def build_engine(name: str, request: EngineBuildRequest) -> MatmulEngine:
     """Compile the backend *name* for *request*."""
-    return engine_entry(name).build(request)
+    entry = engine_entry(name)
+    from repro.obs import runtime as _rt
+
+    if _rt.TRACING:
+        from repro.obs.trace import span
+
+        m, n = request.shape
+        with span("engine.build", backend=name, m=m, n=n):
+            engine = entry.build(request)
+    else:
+        engine = entry.build(request)
+    with _BUILD_COUNTS_LOCK:
+        _BUILD_COUNTS[name] = _BUILD_COUNTS.get(name, 0) + 1
+    return engine

@@ -35,6 +35,7 @@ silently coerced to float64).
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from dataclasses import fields, replace
 
@@ -42,6 +43,7 @@ import numpy as np
 
 from repro._util import as_2d_float
 from repro.core.workspace import current_workspace
+from repro.obs import runtime as _obs
 from repro.engine import (
     AUTO_BACKEND,
     Backend,
@@ -494,6 +496,29 @@ class QuantLinear:
             out = np.zeros((m, 0), dtype=arr.dtype).T.reshape(lead + (m,))
             return _add_bias(out, self.bias)
         engine = self.engine_for(tokens)
+        if _obs.ACTIVE:
+            # Observability on: wrap the product in a span and/or a
+            # drift measurement.  Off (the default), this is one
+            # module-attribute read and the call goes straight through.
+            return self._apply_observed(engine, cols, lead, m, tokens)
+        return self._apply(engine, cols, lead, m, tokens)
+
+    def _apply(
+        self,
+        engine: MatmulEngine,
+        cols: np.ndarray,
+        lead: tuple,
+        m: int,
+        tokens: int,
+        profiler=None,
+    ) -> np.ndarray:
+        """Run the engine over prepared ``(n, tokens)`` columns.
+
+        *profiler* (a :class:`~repro.core.profiling.PhaseProfiler`) is
+        forwarded to engines that take one; callers pass it only for
+        engines with ``accepts_profiler`` set.
+        """
+        kwargs = {} if profiler is None else {"profiler": profiler}
         workspace = current_workspace()
         matmul_into = (
             getattr(engine, "matmul_into", None)
@@ -506,9 +531,9 @@ class QuantLinear:
             rdt = engine.result_dtype(cols.dtype)
             if matmul_into is not None:
                 out_cols = workspace.acquire("linear.out", (m, tokens), rdt)
-                matmul_into(cols, out=out_cols, workspace=workspace)
+                matmul_into(cols, out=out_cols, workspace=workspace, **kwargs)
                 return out_cols.T.reshape(lead + (m,))
-            return engine.matmul(cols).T.reshape(lead + (m,))
+            return engine.matmul(cols, **kwargs).T.reshape(lead + (m,))
         if matmul_into is not None:
             # The engine writes its natural C-contiguous (m, tokens)
             # layout (fast row-slice accumulation); the bias fold then
@@ -518,7 +543,7 @@ class QuantLinear:
             out_cols = workspace.acquire(
                 "linear.out", (m, tokens), cols.dtype
             )
-            matmul_into(cols, out=out_cols, workspace=workspace)
+            matmul_into(cols, out=out_cols, workspace=workspace, **kwargs)
             if self.bias is not None:
                 act = workspace.acquire(
                     "linear.act", (tokens, m), cols.dtype
@@ -526,9 +551,58 @@ class QuantLinear:
                 np.add(out_cols.T, self._bias_for(cols.dtype), out=act)
                 return act.reshape(lead + (m,))
             return out_cols.T.reshape(lead + (m,))
-        out_cols = engine.matmul(cols)
+        out_cols = engine.matmul(cols, **kwargs)
         out = out_cols.T.reshape(lead + (m,))
         return _add_bias(out, self.bias)
+
+    def _apply_observed(
+        self,
+        engine: MatmulEngine,
+        cols: np.ndarray,
+        lead: tuple,
+        m: int,
+        tokens: int,
+    ) -> np.ndarray:
+        """The observability-enabled spelling of :meth:`_apply`.
+
+        Opens an ``engine.matmul`` span (tracing), routes the shared
+        kernel profiler into engines that accept one so the span tree
+        bottoms out in ``kernel.build/query/replace`` phases, and
+        records measured wall time against the planner's predicted cost
+        (drift telemetry).  Kept out of :meth:`__call__` so the
+        disabled path never sees any of it.
+        """
+        from repro.obs import trace as _trace
+
+        backend = self.planned_backend(tokens)
+        n = self._shape[1]
+        profiler = None
+        if _obs.TRACING and getattr(engine, "accepts_profiler", False):
+            profiler = _trace.kernel_profiler()
+        start = time.perf_counter()
+        with _trace.span(
+            "engine.matmul", backend=backend, m=m, n=n, batch=tokens
+        ):
+            result = self._apply(
+                engine, cols, lead, m, tokens, profiler=profiler
+            )
+        if _obs.DRIFT:
+            from repro.obs.drift import record_measurement
+
+            record_measurement(
+                backend,
+                m,
+                n,
+                self.spec.bits,
+                tokens,
+                time.perf_counter() - start,
+                mu=self.spec.mu,
+                a_bits=self.spec.a_bits,
+                machine=self.spec.machine
+                if isinstance(self.spec.machine, str)
+                else getattr(self.spec.machine, "name", "pc"),
+            )
+        return result
 
 
 def make_linear(

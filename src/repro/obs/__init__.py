@@ -1,0 +1,126 @@
+"""repro.obs -- cross-layer observability for the reproduction.
+
+Three coordinated pieces, all disabled by default and free when off:
+
+- :mod:`repro.obs.trace` -- structured request tracing.  Spans with
+  monotonic timestamps, parent links and thread-local context
+  propagation cover the full request lifecycle (``serve.admit`` ->
+  ``serve.queue`` -> ``serve.batch`` -> ``worker.execute`` -> per-layer
+  ``engine.matmul`` -> ``kernel.build/query/replace``), exported as
+  ``chrome://tracing`` trace-event JSON.
+- :mod:`repro.obs.metrics` -- one process-wide registry of counters,
+  gauges and histograms that serve, engine dispatch, the plan cache,
+  workspace arenas and the batcher publish into; exported as JSON and
+  Prometheus text exposition.
+- :mod:`repro.obs.drift` -- cost-model drift telemetry: the planner's
+  predicted seconds recorded next to measured wall time per
+  (engine, shape-bucket); ``python -m repro.obs report`` ranks the
+  shapes where the planner's ranking disagrees with reality.
+
+Typical use::
+
+    import repro.obs as obs
+
+    obs.enable()                    # tracing + drift
+    ... serve traffic ...
+    obs.get_tracer().save("trace.json")       # open in chrome://tracing
+    print(obs.get_registry().to_prometheus())
+    obs.get_recorder().save("drift.json")     # python -m repro.obs report
+
+Setting ``REPRO_OBS=1`` (or ``trace``, ``drift``, ``trace,drift``) in
+the environment enables the corresponding pieces at import time --
+handy for instrumenting an existing entry point without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import runtime  # noqa: F401  (dependency leaf, import first)
+from repro.obs.drift import (
+    DriftRecorder,
+    get_recorder,
+    record_measurement,
+    record_prediction,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    Span,
+    SpanContext,
+    Tracer,
+    current_context,
+    get_tracer,
+    kernel_profiler,
+    new_trace_id,
+    span,
+)
+from repro.obs import drift as _drift
+from repro.obs import trace as _trace
+
+__all__ = [
+    "Counter",
+    "DriftRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "current_context",
+    "disable",
+    "enable",
+    "get_recorder",
+    "get_registry",
+    "get_tracer",
+    "kernel_profiler",
+    "new_trace_id",
+    "record_measurement",
+    "record_prediction",
+    "span",
+]
+
+
+def enable(
+    tracing: bool = True,
+    drift: bool = True,
+    *,
+    max_spans: int | None = None,
+    clear: bool = False,
+) -> None:
+    """Turn observability on: ``tracing`` / ``drift`` select the pieces.
+
+    ``max_spans`` resizes the tracer's ring buffer; ``clear=True``
+    empties retained spans (and, with ``drift``, recorded drift
+    entries) first.
+    """
+    if tracing:
+        _trace.enable(max_spans=max_spans, clear=clear)
+    if drift:
+        _drift.enable(reset=clear)
+
+
+def disable() -> None:
+    """Turn all observability off (recorded data stays exportable)."""
+    _trace.disable()
+    _drift.disable()
+
+
+def _from_env() -> None:
+    value = os.environ.get("REPRO_OBS", "").strip().lower()
+    if not value or value in ("0", "off", "false"):
+        return
+    if value in ("1", "on", "true", "all"):
+        enable()
+        return
+    pieces = {piece.strip() for piece in value.split(",")}
+    enable(tracing="trace" in pieces or "tracing" in pieces,
+           drift="drift" in pieces)
+
+
+_from_env()

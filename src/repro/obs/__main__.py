@@ -1,0 +1,73 @@
+"""CLI: ``python -m repro.obs report [drift.json]``.
+
+Renders cost-model drift telemetry -- predicted vs. measured engine
+cost per shape, ranked by planner regret.  With a saved ``drift.json``
+(from :meth:`repro.obs.DriftRecorder.save`, or ``repro.serve
+--drift-file``) it reports that run; bare, it runs a small live sweep
+so the command always has something to show.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability tooling for the reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report",
+        help="rank shapes where the planner's cost ranking "
+        "disagrees with measured wall time",
+    )
+    report.add_argument(
+        "drift_file",
+        nargs="?",
+        default=None,
+        help="drift telemetry JSON (default: run a small live sweep)",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    report.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="only show the N worst-regret shapes",
+    )
+    report.add_argument(
+        "--no-backfill", action="store_true",
+        help="do not backfill missing predictions from the live model",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import drift
+    from repro.obs.report import build_report, demo_sweep, format_report
+
+    if args.drift_file is not None:
+        entries = drift.load(args.drift_file)
+        if not entries:
+            print(f"{args.drift_file}: no drift entries", file=sys.stderr)
+            return 1
+    else:
+        print(
+            "no drift file given -- running a live demo sweep "
+            "(pass a drift.json to report a real run)",
+            file=sys.stderr,
+        )
+        entries = demo_sweep()
+
+    result = build_report(entries, backfill=not args.no_backfill)
+    if args.json:
+        json.dump(result, sys.stdout, indent=2)
+        print()
+    else:
+        print(format_report(result, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Process-wide observability switches (the hot-path fast flags).
+
+Everything in :mod:`repro.obs` is disabled by default and must stay
+invisible to the steady-state hot loop when it is off -- the serving
+layers guard their instrumentation behind the module-level booleans
+here, so the disabled path costs one attribute read per call site and
+allocates nothing.  :func:`repro.obs.enable` / :func:`repro.obs.disable`
+flip these flags; nothing else should write them.
+
+This module is a dependency leaf (stdlib only, imports nothing from the
+repo), so any layer -- kernels, engines, serving -- can read the flags
+without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ACTIVE", "TRACING", "DRIFT", "set_tracing", "set_drift"]
+
+#: Structured tracing on/off (spans recorded when True).
+TRACING = False
+
+#: Cost-model drift telemetry on/off (matmul wall time recorded when
+#: True).
+DRIFT = False
+
+#: Either of the above: the single check hot call sites make before
+#: touching any observability machinery.
+ACTIVE = False
+
+
+def _refresh() -> None:
+    global ACTIVE
+    ACTIVE = TRACING or DRIFT
+
+
+def set_tracing(on: bool) -> None:
+    """Flip the tracing flag (called by :func:`repro.obs.trace.enable`)."""
+    global TRACING
+    TRACING = bool(on)
+    _refresh()
+
+
+def set_drift(on: bool) -> None:
+    """Flip the drift flag (called by :func:`repro.obs.drift.enable`)."""
+    global DRIFT
+    DRIFT = bool(on)
+    _refresh()

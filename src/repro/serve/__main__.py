@@ -15,6 +15,7 @@ interrupted.  Multiple artifacts serve side by side::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from repro.serve import ServeConfig, Server
@@ -54,6 +55,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optional LRU memory budget for resident compiled weights",
     )
+    parser.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable request tracing (repro.obs) and write the "
+            "chrome://tracing trace-event JSON here on shutdown"
+        ),
+    )
+    parser.add_argument(
+        "--drift-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable cost-model drift telemetry and write its JSON here "
+            "on shutdown (read it with 'python -m repro.obs report')"
+        ),
+    )
     return parser
 
 
@@ -83,6 +102,13 @@ def main(argv: list[str] | None = None) -> int:
             int(args.budget_mb * 1e6) if args.budget_mb is not None else None
         ),
     )
+    if args.trace_file or args.drift_file:
+        import repro.obs as obs
+
+        obs.enable(
+            tracing=args.trace_file is not None,
+            drift=args.drift_file is not None,
+        )
     server = Server(config=config)
     for name, path in zip(_names(args), args.artifacts):
         server.add_model(name, path)
@@ -95,12 +121,26 @@ def main(argv: list[str] | None = None) -> int:
         f"max_latency_ms={config.max_latency_ms})",
         flush=True,
     )
+    def _graceful(signum, frame):  # SIGTERM == Ctrl-C: drain and save
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful)
     try:
         server.serve_http(args.host, args.port, block=True)
     except KeyboardInterrupt:
         pass
     finally:
         server.stop()
+        if args.trace_file:
+            from repro.obs.trace import get_tracer
+
+            get_tracer().save(args.trace_file)
+            print(f"trace written to {args.trace_file}", flush=True)
+        if args.drift_file:
+            from repro.obs.drift import get_recorder
+
+            get_recorder().save(args.drift_file)
+            print(f"drift telemetry written to {args.drift_file}", flush=True)
     return 0
 
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro._util import check_positive_int
 from repro.engine import batch_buckets
+from repro.obs import runtime as _obs
 from repro.serve.telemetry import ModelTelemetry
 
 __all__ = [
@@ -68,6 +69,22 @@ class PendingRequest:
     _result: np.ndarray | None = None
     _error: BaseException | None = None
     _cancelled: bool = False
+    # Tracing (None unless tracing was on at admission): the context of
+    # this request's ``serve.queue`` span.  It crosses threads with the
+    # request -- the worker parents its execution spans on it and the
+    # batch span links it, so one trace id follows the request from the
+    # HTTP thread through the queue into the worker.
+    trace: object | None = None
+    _queue_span: object | None = None
+
+    def end_queue_span(self, **attrs) -> None:
+        """Close the ``serve.queue`` span, once (no-op without one)."""
+        span = self._queue_span
+        if span is not None:
+            self._queue_span = None
+            if attrs:
+                span.set(**attrs)
+            span.end()
 
     @property
     def group_key(self) -> tuple:
@@ -186,18 +203,36 @@ class Batcher:
         request = PendingRequest(
             x=np.asarray(x), enqueue_time=time.monotonic()
         )
-        with self._cond:
-            self._purge_cancelled()
-            if self._closed or self._sealed:
-                raise BatcherClosed("batcher is closed")
-            if len(self._queue) >= self.max_queue:
-                self.telemetry.record_reject()
-                raise QueueFullError(
-                    f"request queue is full ({self.max_queue} pending)"
-                )
-            self._queue.append(request)
-            self.telemetry.record_enqueue(len(self._queue))
-            self._cond.notify_all()
+        if _obs.TRACING:
+            # Started on the producer thread so it parents onto the
+            # caller's active span (serve.admit), and *before* the
+            # request becomes visible to workers -- a worker that picks
+            # it immediately must already see the trace context.  Ended
+            # when the request is picked into a batch, purged, rejected
+            # here, or failed at close -- its duration is the queue wait.
+            from repro.obs.trace import get_tracer
+
+            queue_span = get_tracer().start_span("serve.queue")
+            request._queue_span = queue_span
+            request.trace = queue_span.context
+        try:
+            with self._cond:
+                self._purge_cancelled()
+                if self._closed or self._sealed:
+                    raise BatcherClosed("batcher is closed")
+                if len(self._queue) >= self.max_queue:
+                    self.telemetry.record_reject()
+                    raise QueueFullError(
+                        f"request queue is full ({self.max_queue} pending)"
+                    )
+                self._queue.append(request)
+                self.telemetry.record_enqueue(len(self._queue))
+                self._cond.notify_all()
+        except BaseException as exc:
+            request.end_queue_span(
+                outcome="rejected", error=type(exc).__name__
+            )
+            raise
         return request
 
     def submit(
@@ -229,6 +264,9 @@ class Batcher:
         live = [r for r in self._queue if not r.cancelled]
         if len(live) != len(self._queue):
             self.telemetry.record_cancelled(len(self._queue) - len(live))
+            for request in self._queue:
+                if request.cancelled:
+                    request.end_queue_span(outcome="cancelled")
             self._queue = live
             self._cond.notify_all()
 
@@ -291,6 +329,8 @@ class Batcher:
             finally:
                 self._coalescing = False
                 self._cond.notify_all()
+        for request in picked:
+            request.end_queue_span(outcome="batched", batch=len(picked))
         self.telemetry.record_batch(len(picked))
         return Batch(requests=tuple(picked))
 
@@ -326,6 +366,7 @@ class Batcher:
             queued, self._queue = self._queue, []
             self._cond.notify_all()
         for request in queued:
+            request.end_queue_span(outcome="closed", error="BatcherClosed")
             # Typed, so hot-swap stragglers are retried onto the new
             # pool by Server.predict (and map to 503, not 500).
             request.set_error(BatcherClosed("batcher closed while queued"))

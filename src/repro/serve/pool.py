@@ -16,6 +16,7 @@ import time
 
 from repro._util import check_positive_int
 from repro.api.model import CompiledModel
+from repro.obs import runtime as _obs
 from repro.serve.batcher import Batch, Batcher
 
 __all__ = ["WorkerPool"]
@@ -76,6 +77,12 @@ class WorkerPool:
             self._execute(replica, batch)
 
     def _execute(self, replica: CompiledModel, batch: Batch) -> None:
+        if _obs.TRACING:
+            self._execute_traced(replica, batch)
+        else:
+            self._execute_plain(replica, batch)
+
+    def _execute_plain(self, replica: CompiledModel, batch: Batch) -> None:
         telemetry = self.batcher.telemetry
         try:
             outputs = replica(batch.stacked())
@@ -88,6 +95,35 @@ class WorkerPool:
             return
         for request in batch.requests:
             telemetry.record_result(done - request.enqueue_time, ok=True)
+
+    def _execute_traced(self, replica: CompiledModel, batch: Batch) -> None:
+        """:meth:`_execute_plain` under a span tree.
+
+        The fan-in point of the trace: N request spans (each with its
+        own trace id) converge on one model execution.  The
+        ``serve.batch`` span **links** every request's queue-span
+        context and, when the batch serves exactly one request, adopts
+        that request's trace id as parent -- so a single-request trace
+        stays one connected tree, and a coalesced batch is reachable
+        from each of its requests via the links.  ``worker.execute`` is
+        activated inside it on this worker thread, which is what the
+        per-layer ``engine.matmul`` spans parent onto.
+        """
+        from repro.obs.trace import activate, get_tracer
+
+        tracer = get_tracer()
+        links = tuple(r.trace for r in batch.requests if r.trace is not None)
+        parent = links[0] if len(batch.requests) == 1 and links else None
+        batch_span = tracer.start_span(
+            "serve.batch",
+            parent=parent,
+            links=links if parent is None else (),
+            model=self.name,
+            batch=len(batch.requests),
+        )
+        with activate(batch_span):
+            with tracer.span("worker.execute", replica=self.name):
+                self._execute_plain(replica, batch)
 
     def stop(self, timeout: float = 5.0, *, drain: bool = False) -> None:
         """Close the batcher and join the workers.

@@ -12,18 +12,30 @@ dependencies, matching this repo's constraint):
 - ``GET /models``    registered models and versions
 - ``GET /healthz``   liveness + per-model worker state
 - ``GET /metrics``   telemetry snapshots (latency quantiles, batch
-  sizes, LUT-amortization ratio, queue depth)
+  sizes, LUT-amortization ratio, queue depth); Prometheus text
+  exposition via ``/metrics?format=prometheus`` or ``Accept:
+  text/plain``
+- ``GET /trace``     retained spans as chrome://tracing trace-event
+  JSON (empty unless tracing is enabled, see :mod:`repro.obs`)
 
 Backpressure maps to HTTP 429, unknown models to 404, malformed bodies
-to 400.  The HTTP layer is threaded (one thread per connection), which
-is exactly what the batcher wants: concurrent requests pile into the
-queue and leave as coalesced micro-batches.
+to 400, request timeouts to 504.  Every request gets an id; error
+responses carry it (``request_id``) and each failed request logs one
+structured line on the ``repro.serve`` logger, so rejected traffic is
+attributable instead of silent.  With tracing enabled the id is also
+the request's trace id -- paste it from a 429 into the trace file to
+see exactly which queue refused it.  The HTTP layer is threaded (one
+thread per connection), which is exactly what the batcher wants:
+concurrent requests pile into the queue and leave as coalesced
+micro-batches.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -31,12 +43,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.api.model import CompiledModel, QuantModel
+from repro.obs import runtime as _obs
 from repro.serve.batcher import Batcher, BatcherClosed, QueueFullError
 from repro.serve.pool import WorkerPool
 from repro.serve.store import ModelNotFound, ModelStore
 from repro.serve.telemetry import ModelTelemetry
 
 __all__ = ["ServeConfig", "Server"]
+
+_LOG = logging.getLogger("repro.serve")
 
 
 @dataclass(frozen=True)
@@ -104,6 +119,11 @@ class Server:
         self._started = False
         self._httpd: ThreadingHTTPServer | None = None
         self._http_thread: threading.Thread | None = None
+        # Pull-style publisher into the unified metrics registry
+        # (repro.obs.metrics): registered while the server runs, so a
+        # scrape sees per-model serving series without the hot path
+        # pushing anything.
+        self._metrics_collector = None
 
     # -- model management ----------------------------------------------
     def add_model(
@@ -153,14 +173,84 @@ class Server:
             # Drain: requests already queued on the old version finish
             # on it; new requests are already routed to the new pool.
             old.pool.stop(drain=True)
+            # The new runtime's telemetry restarts from zero; its
+            # metric series must too (counters never go backwards).
+            self._prune_model_metrics(name)
 
     def _on_store_evict(self, name: str) -> None:
         with self._lock:
             runtime = self._runtimes.pop(name, None)
         if runtime is not None:
             runtime.pool.stop(drain=True)
+            self._prune_model_metrics(name)
         if self._chained_on_evict is not None:
             self._chained_on_evict(name)
+
+    def _prune_model_metrics(self, name: str) -> None:
+        """Drop *name*'s series from the metrics registry (teardown /
+        hot-swap): a scrape must not report a model that no longer
+        serves, and a successor's fresh counters must not collide with
+        the predecessor's totals."""
+        from repro.obs.metrics import get_registry
+
+        get_registry().prune(model=name)
+
+    def _publish_metrics(self, registry) -> None:
+        """Collector: copy serving telemetry into the unified registry.
+
+        Runs at scrape time (``MetricsRegistry.collect``).  Histograms
+        are adopted live (no copying); counters/gauges mirror the
+        telemetry totals.
+        """
+        with self._lock:
+            runtimes = dict(self._runtimes)
+        for name, runtime in sorted(runtimes.items()):
+            telemetry = runtime.telemetry
+            registry.register_histogram(
+                "repro_serve_latency_seconds",
+                telemetry.latency,
+                "request latency, submit to result",
+                model=name,
+            )
+            registry.register_histogram(
+                "repro_serve_queue_depth",
+                telemetry.queue_depth,
+                "queue depth sampled at admission",
+                model=name,
+            )
+            counters = (
+                ("requests", telemetry.requests, "requests admitted"),
+                ("served", telemetry.served, "requests completed ok"),
+                ("errors", telemetry.errors, "requests failed"),
+                ("rejected", telemetry.rejected, "requests refused at admission"),
+                ("cancelled", telemetry.cancelled, "requests abandoned in queue"),
+                ("batches", telemetry.batches, "model executions"),
+            )
+            for metric, value, help_text in counters:
+                registry.counter(
+                    f"repro_serve_{metric}_total", help_text, model=name
+                ).set(value)
+            registry.gauge(
+                "repro_serve_lut_amortization_ratio",
+                "requests served per model execution (mean effective "
+                "batch)",
+                model=name,
+            ).set(telemetry.amortization_ratio)
+            registry.gauge(
+                "repro_serve_queue_pending",
+                "requests currently queued",
+                model=name,
+            ).set(runtime.batcher.pending())
+        registry.gauge(
+            "repro_store_models", "compiled models resident in the store"
+        ).set(len(self.store))
+        registry.gauge(
+            "repro_store_resident_bytes",
+            "compiled weight bytes resident in the store",
+        ).set(self.store.total_bytes())
+        registry.counter(
+            "repro_store_evictions_total", "models evicted by the budget"
+        ).set(self.store.evictions)
 
     def _spawn_runtime(
         self, name: str, compiled: CompiledModel
@@ -188,6 +278,10 @@ class Server:
                 self._runtimes[name] = self._spawn_runtime(
                     name, self.store.get(name)
                 )
+        from repro.obs.metrics import get_registry
+
+        self._metrics_collector = self._publish_metrics
+        get_registry().register_collector(self._metrics_collector)
         return self
 
     def stop(self) -> None:
@@ -198,6 +292,13 @@ class Server:
             self._started = False
         for runtime in runtimes.values():
             runtime.pool.stop()
+        if self._metrics_collector is not None:
+            from repro.obs.metrics import get_registry
+
+            get_registry().unregister_collector(self._metrics_collector)
+            self._metrics_collector = None
+        for name in runtimes:
+            self._prune_model_metrics(name)
 
     def __enter__(self) -> "Server":
         return self.start()
@@ -229,6 +330,7 @@ class Server:
         x: np.ndarray,
         *,
         timeout: float | None = None,
+        request_id: str | None = None,
     ) -> np.ndarray:
         """Serve one request through the model's dynamic batcher.
 
@@ -238,9 +340,46 @@ class Server:
         Raises :class:`~repro.serve.batcher.QueueFullError` under
         backpressure and :class:`~repro.serve.store.ModelNotFound` for
         unknown names.
+
+        Every request carries an id (*request_id*, generated when not
+        given).  A failing request logs one structured line on the
+        ``repro.serve`` logger and the raised exception carries the id
+        as ``exc.request_id``; with tracing enabled the id is also the
+        trace id of the request's ``serve.admit`` span tree.
         """
         if timeout is None:
             timeout = self.config.request_timeout_s
+        rid = request_id or uuid.uuid4().hex[:16]
+        try:
+            if _obs.TRACING:
+                from repro.obs.trace import span
+
+                with span("serve.admit", trace_id=rid, model=name):
+                    return self._submit(name, x, timeout)
+            return self._submit(name, x, timeout)
+        except BaseException as exc:
+            # Attribute the failure: the id rides on the exception (the
+            # HTTP layer echoes it in the error body) and one
+            # structured log line records what was refused and why.
+            try:
+                exc.request_id = rid
+            except AttributeError:  # exceptions with __slots__
+                pass
+            _LOG.warning(
+                json.dumps(
+                    {
+                        "event": "request_failed",
+                        "model": name,
+                        "request_id": rid,
+                        "error": type(exc).__name__,
+                        "detail": str(exc),
+                    },
+                    sort_keys=True,
+                )
+            )
+            raise
+
+    def _submit(self, name: str, x: np.ndarray, timeout: float) -> np.ndarray:
         # A hot-swap can seal the runtime we just resolved (between the
         # lookup and the submit); re-resolve and retry -- the new pool
         # is installed before the old one seals, so one retry suffices
@@ -280,6 +419,10 @@ class Server:
                 "models": len(self.store),
                 "resident_bytes": self.store.total_bytes(),
                 "evictions": self.store.evictions,
+            },
+            "obs": {
+                "tracing": _obs.TRACING,
+                "drift": _obs.DRIFT,
             },
         }
 
@@ -374,15 +517,47 @@ def _make_handler(server: Server):
             self.end_headers()
             self.wfile.write(body)
 
+        def _reply_text(self, status: int, text: str, content_type: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, status: int, exc: BaseException, rid: str) -> None:
+            """Error reply carrying the request's trace/request id."""
+            message = (
+                f"{type(exc).__name__}: {exc}" if status == 500 else str(exc)
+            )
+            self._reply(status, {"error": message, "request_id": rid})
+
         def do_GET(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
-            if self.path == "/healthz":
+            path, _, query = self.path.partition("?")
+            if path == "/healthz":
                 health = server.healthz()
                 status = 200 if health["status"] == "ok" else 503
                 self._reply(status, health)
-            elif self.path == "/models":
+            elif path == "/models":
                 self._reply(200, {"models": server.models()})
-            elif self.path == "/metrics":
-                self._reply(200, server.metrics())
+            elif path == "/metrics":
+                accept = self.headers.get("Accept", "")
+                if "format=prometheus" in query or (
+                    "text/plain" in accept or "openmetrics" in accept
+                ):
+                    from repro.obs.metrics import get_registry
+
+                    self._reply_text(
+                        200,
+                        get_registry().to_prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                else:
+                    self._reply(200, server.metrics())
+            elif path == "/trace":
+                from repro.obs.trace import get_tracer
+
+                self._reply(200, get_tracer().trace_events())
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -390,23 +565,28 @@ def _make_handler(server: Server):
             if self.path != "/predict":
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
                 return
+            rid = uuid.uuid4().hex[:16]
             try:
                 request = self._read_request()
             except ValueError as exc:
-                self._reply(400, {"error": str(exc)})
+                self._reply(400, {"error": str(exc), "request_id": rid})
                 return
             try:
-                output = server.predict(request["model"], request["x"])
+                output = server.predict(
+                    request["model"], request["x"], request_id=rid
+                )
             except ModelNotFound as exc:
-                self._reply(404, {"error": str(exc)})
+                self._error(404, exc, rid)
             except QueueFullError as exc:
-                self._reply(429, {"error": str(exc)})
+                self._error(429, exc, rid)
             except BatcherClosed as exc:
-                self._reply(503, {"error": str(exc)})
+                self._error(503, exc, rid)
+            except TimeoutError as exc:
+                self._error(504, exc, rid)
             except (ValueError, TypeError) as exc:
-                self._reply(400, {"error": str(exc)})
+                self._error(400, exc, rid)
             except Exception as exc:  # noqa: BLE001 -- HTTP boundary
-                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+                self._error(500, exc, rid)
             else:
                 self._reply(
                     200,
@@ -414,6 +594,7 @@ def _make_handler(server: Server):
                         "model": request["model"],
                         "output": np.asarray(output).tolist(),
                         "shape": list(np.asarray(output).shape),
+                        "request_id": rid,
                     },
                 )
 

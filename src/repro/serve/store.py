@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.api.model import CompiledModel, QuantModel
+from repro.obs import runtime as _obs
 
 __all__ = ["ModelNotFound", "ModelStore", "StoredModel"]
 
@@ -96,8 +97,17 @@ class ModelStore:
         Engines are warmed before the swap so the first request never
         pays compile latency.  Returns the new entry.
         """
-        compiled, manifest = _load_artifact(path)
-        entry = self.add(name, compiled, version=version, source=str(path))
+        if _obs.TRACING:
+            from repro.obs.trace import span
+
+            with span("store.load", model=name, source=str(path)):
+                compiled, manifest = _load_artifact(path)
+                entry = self.add(
+                    name, compiled, version=version, source=str(path)
+                )
+        else:
+            compiled, manifest = _load_artifact(path)
+            entry = self.add(name, compiled, version=version, source=str(path))
         entry.repro_version = manifest.get("repro_version")
         return entry
 

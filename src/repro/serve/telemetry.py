@@ -14,55 +14,17 @@ the ``/metrics`` endpoint.
 from __future__ import annotations
 
 import threading
-from collections import deque
+
+from repro.obs.metrics import Histogram
 
 __all__ = ["Histogram", "ModelTelemetry"]
 
-
-class Histogram:
-    """Bounded-reservoir histogram with exact quantiles over the window.
-
-    Keeps the most recent *window* observations (a serving process runs
-    indefinitely; an unbounded list would not) and reports quantiles
-    over that window plus lifetime count/sum.  Callers hold their own
-    lock -- the class itself is not synchronized.
-    """
-
-    def __init__(self, window: int = 2048):
-        if window <= 0:
-            raise ValueError(f"window must be positive, got {window}")
-        self._values: deque[float] = deque(maxlen=window)
-        self.count = 0
-        self.total = 0.0
-
-    def record(self, value: float) -> None:
-        value = float(value)
-        self._values.append(value)
-        self.count += 1
-        self.total += value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Exact *q*-quantile of the retained window (0 when empty)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if not self._values:
-            return 0.0
-        ordered = sorted(self._values)
-        idx = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[idx]
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-        }
+# Histogram now lives in repro.obs.metrics (the unified registry needs
+# it below the serving layer) and is re-exported here unchanged for the
+# existing serve API surface.  The move also fixed its quantiles: they
+# interpolate between order statistics instead of the nearest-rank
+# ``int(q * len)``, which over-indexed toward the low side for small
+# windows.  /metrics keys (p50/p95/p99) are unchanged.
 
 
 class ModelTelemetry:

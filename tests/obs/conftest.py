@@ -1,0 +1,26 @@
+"""Shared hygiene for observability tests.
+
+The tracer, drift recorder, and runtime flags are process-wide; every
+test here starts and ends with observability off and its state empty so
+tests neither leak spans into each other nor into the rest of the
+suite (which asserts the disabled path stays silent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.drift import get_recorder
+from repro.obs.trace import get_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    get_tracer().clear()
+    get_recorder().reset()
+    yield
+    obs.disable()
+    get_tracer().clear()
+    get_recorder().reset()
