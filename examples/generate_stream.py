@@ -1,0 +1,132 @@
+"""Stream generated tokens over HTTP with continuous batching.
+
+Runs in a few seconds::
+
+    python examples/generate_stream.py
+
+The decode story end to end: quantize + compile a :class:`DecoderLM`,
+save the v3 artifact ("offline"), serve it ("online"), then stream
+``POST /generate`` -- one JSON line per token -- from three concurrent
+clients whose decode steps the :class:`SequenceScheduler` coalesces
+into shared batched GEMV ticks.  Every streamed token is bit-identical
+to ``CompiledModel.generate`` run alone: continuous batching is a pure
+throughput optimization.  A fourth client disconnects mid-stream to
+show cancellation, and ``/metrics`` reports the decode vitals.
+
+The same server runs from the command line::
+
+    python -m repro.serve model.npz --port 8000
+    curl -sN localhost:8000/generate \
+        -d '{"model": "lm", "prompt": [5, 17, 42], "max_new_tokens": 16}'
+"""
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import QuantConfig, quantize, save
+from repro.gen import DecoderLM
+from repro.nn import TransformerConfig
+from repro.serve import ServeConfig, Server
+
+VOCAB = 200
+NEW_TOKENS = 24
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    # Offline: a seeded decoder LM -> quantize, compile at the decode
+    # hint, ship the artifact (the embedding regenerates from the seed).
+    model = DecoderLM(
+        TransformerConfig(dim=64, heads=4, ff_dim=128, layers=2),
+        vocab_size=VOCAB,
+        seed=0,
+    )
+    compiled = quantize(model, QuantConfig(bits=3, mu=8)).compile(
+        batch_hint=1
+    )
+    prompts = [rng.integers(0, VOCAB, size=6) for _ in range(3)]
+    expected = [compiled.generate(p, NEW_TOKENS) for p in prompts]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "lm.npz"
+        save(compiled, artifact)
+        print(f"saved artifact: {artifact.stat().st_size / 1024:.0f} KB\n")
+
+        server = Server(
+            config=ServeConfig(workers=1, max_sequences=8,
+                               decode_latency_ms=2.0)
+        )
+        server.add_model("lm", artifact)
+        httpd = server.serve_http(port=0)  # ephemeral port
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        print(f"serving on {base}")
+
+        def stream(i: int, out: list) -> None:
+            body = json.dumps(
+                {"model": "lm", "prompt": prompts[i].tolist(),
+                 "max_new_tokens": NEW_TOKENS}
+            ).encode()
+            request = urllib.request.Request(base + "/generate", data=body)
+            with urllib.request.urlopen(request, timeout=60) as response:
+                for line in response:  # one JSON event per token
+                    event = json.loads(line)
+                    if event.get("done"):
+                        break
+                    out.append(event["token"])
+
+        # Three concurrent streams -> coalesced decode ticks.
+        streams: list[list[int]] = [[] for _ in prompts]
+        threads = [
+            threading.Thread(target=stream, args=(i, streams[i]))
+            for i in range(len(prompts))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        exact = sum(
+            got == want for got, want in zip(streams, expected)
+        )
+        print(f"\n{len(prompts)} concurrent streams finished; "
+              f"{exact}/{len(prompts)} bit-identical to solo generate()")
+        print(f"stream 0: {streams[0][:8]} ...")
+
+        # A client that walks away mid-stream: read three tokens, close.
+        body = json.dumps(
+            {"model": "lm", "prompt": [1, 2, 3],
+             "max_new_tokens": 10_000}
+        ).encode()
+        request = urllib.request.Request(base + "/generate", data=body)
+        response = urllib.request.urlopen(request, timeout=60)
+        for _ in range(3):
+            json.loads(response.readline())
+        response.close()  # server cancels + frees the KV blocks
+        time.sleep(0.5)  # let the server notice the dead socket
+
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+            gen = json.loads(resp.read())["models"]["lm"]["generation"]
+        print(
+            f"\ndecode vitals: {gen['tokens']} tokens in {gen['ticks']} "
+            f"ticks (coalescing {gen['coalescing_ratio']:.2f} "
+            f"tokens/tick), {gen['tokens_per_s']:.0f} tok/s busy"
+        )
+        print(
+            f"inter-token p50/p95: {gen['inter_token_ms']['p50']:.1f} / "
+            f"{gen['inter_token_ms']['p95']:.1f} ms; "
+            f"cancelled streams: {gen['cancelled']}"
+        )
+
+        server.stop()
+        print("\nserver stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ the format.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -187,8 +188,76 @@ def _rebuild_mlp(desc, layers_by_path):
     return QuantMLP([layers_by_path[p] for p in expected])
 
 
+def _describe_decoder_lm(model: Any):
+    # The gen subsystem is optional at save time: if its module was
+    # never imported, the model cannot be a DecoderLM, and importing it
+    # here just to find that out would be pure overhead.
+    gen_model = sys.modules.get("repro.gen.model")
+    if gen_model is None or not isinstance(model, gen_model.DecoderLM):
+        return None
+    if model.seed is None:
+        raise ValueError(
+            "this DecoderLM was built from an explicit rng; its float "
+            "state (embedding table, head init) is not reproducible from "
+            "a recorded seed, so it cannot ship as a whole-model "
+            "artifact -- construct with seed= instead"
+        )
+    cfg = model.config
+    return {
+        "dim": cfg.dim,
+        "heads": cfg.heads,
+        "ff_dim": cfg.ff_dim,
+        "layers": cfg.layers,
+        "vocab_size": model.vocab_size,
+        "seed": model.seed,
+    }
+
+
+def _rebuild_decoder_lm(desc, layers_by_path):
+    from repro.api.model import _walk
+    from repro.gen.model import DecoderLM, mark_batch_invariant
+    from repro.nn.transformer import TransformerConfig
+
+    # A real seeded rebuild (not _ZeroRng): the embedding table is part
+    # of the model's float state and is *regenerated* bit-exactly from
+    # the recorded seed -- the artifact ships engine payloads only.
+    model = DecoderLM(
+        TransformerConfig(
+            dim=int(desc["dim"]),
+            heads=int(desc["heads"]),
+            ff_dim=int(desc["ff_dim"]),
+            layers=int(desc["layers"]),
+        ),
+        int(desc["vocab_size"]),
+        seed=int(desc["seed"]),
+    )
+    remaining = dict(layers_by_path)
+
+    def visit(path: str, layer: Any):
+        try:
+            return remaining.pop(path)
+        except KeyError:
+            raise ValueError(
+                f"artifact carries no payload for decoder layer {path!r}"
+            ) from None
+
+    _walk(model, "", visit, set())
+    if remaining:
+        raise ValueError(
+            f"artifact payloads {sorted(remaining)} match no layer of the "
+            "declared decoder structure"
+        )
+    # The walk swapped fresh QuantLinears in; restore the decode
+    # bit-identity contract on them.
+    mark_batch_invariant(model)
+    return model
+
+
 register_model_structure(
     "transformer_encoder", _describe_encoder, _rebuild_encoder
+)
+register_model_structure(
+    "decoder_lm", _describe_decoder_lm, _rebuild_decoder_lm
 )
 register_model_structure("layer_list", _describe_layer_list, _rebuild_layer_list)
 register_model_structure("mlp", _describe_mlp, _rebuild_mlp)

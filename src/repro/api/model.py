@@ -567,6 +567,9 @@ class CompiledModel:
         }
         self._arena_guard = threading.Lock()
         self._forward_lock = threading.Lock()
+        # Long-lived arena backing KV caches (created on first
+        # generate(); never reset -- caches release blocks on close).
+        self._kv: Workspace | None = None
 
     def _arena_for(self, batch: int) -> Workspace:
         """The arena serving *batch*-request calls (bucketed like the
@@ -719,6 +722,164 @@ class CompiledModel:
             if workspace.owns(result):
                 # The model's last layer wrote into the arena: hand the
                 # caller a copy that outlives the next reset.
+                return result.copy()
+            return out
+        finally:
+            if locked:
+                self._forward_lock.release()
+
+    def _kv_workspace(self) -> Workspace:
+        """The long-lived KV arena (distinct from the per-request
+        arenas, which reset every forward -- a cache must never live on
+        one of those)."""
+        with self._arena_guard:
+            if self._kv is None:
+                self._kv = Workspace(name="kv")
+            return self._kv
+
+    def generate(
+        self,
+        prompt,
+        max_new_tokens: int,
+        *,
+        temperature: float = 0.0,
+        top_k: int | None = None,
+        seed: int = 0,
+        eos_id: int | None = None,
+    ) -> list[int]:
+        """Autoregressively decode *max_new_tokens* tokens after *prompt*.
+
+        The paper's headline workload (Fig. 10): one batched **prefill**
+        over the prompt populates per-layer KV caches, then each new
+        token is a single ``(n, 1)`` GEMV sweep through the pinned
+        engines -- the batch-1 regime BiQGEMM's lookup tables win.
+        Every quantized layer is (re-)marked batch-invariant first, so
+        the cached decode is bit-identical to running the full causal
+        recompute at each length, on every registered engine.
+
+        Parameters
+        ----------
+        prompt:
+            Token ids, ``(prompt_len,)`` or ``(1, prompt_len)``.
+        max_new_tokens:
+            Decode budget.
+        temperature / top_k / seed:
+            Sampling controls (see :class:`repro.gen.Sampler`).  The
+            default ``temperature=0.0`` is greedy argmax; any positive
+            temperature samples from a private RNG stream seeded by
+            *seed*, so the same call replays the same tokens.
+        eos_id:
+            Optional stop token: decoding ends once it is emitted (the
+            stop token is included in the returned list).
+
+        Returns the newly generated token ids (prompt not included).
+        """
+        self._check_active()
+        check_positive_int(max_new_tokens, "max_new_tokens")
+        model = self.model
+        # The encoder stack also exposes init_cache/prefill/step, but at
+        # the hidden-state level -- token decode additionally needs the
+        # embedding table that maps ids into the stack.
+        for attr in ("init_cache", "prefill", "step", "embedding"):
+            if getattr(model, attr, None) is None:
+                raise TypeError(
+                    f"model {type(model).__name__!r} has no incremental "
+                    f"decode API (missing {attr}); generate() needs a "
+                    "DecoderLM-style model"
+                )
+        from repro.gen.model import mark_batch_invariant
+        from repro.gen.sampler import Sampler
+
+        # quantize()/apply_config() may have swapped layers in since
+        # construction; re-marking is idempotent and cheap.
+        mark_batch_invariant(model)
+        ids = np.asarray(prompt, dtype=np.int64)
+        if ids.ndim == 1:
+            ids = ids[None, :]
+        if ids.ndim != 2 or ids.shape[0] != 1 or not ids.shape[1]:
+            raise ValueError(
+                f"prompt must be (prompt_len,) or (1, prompt_len) token "
+                f"ids, got shape {np.asarray(prompt).shape}"
+            )
+        sampler = Sampler(temperature=temperature, top_k=top_k, seed=seed)
+        kv = self._kv_workspace() if self.workspaces_enabled else None
+        caches = model.init_cache(
+            workspace=kv, reserve=ids.shape[1] + max_new_tokens
+        )
+        # The scratch arena (scores, softmax partials) resets per call,
+        # exactly like _forward; the caches live on the kv arena above,
+        # which a reset never touches.  A concurrent forward holding the
+        # lock just means this decode allocates instead.
+        locked = self.workspaces_enabled and self._forward_lock.acquire(
+            blocking=False
+        )
+        arena = self._arena_for(1) if locked else None
+
+        def run(label, fn, *args, **meta):
+            if arena is not None:
+                arena.reset()
+            if _obs.TRACING:
+                from repro.obs.trace import span
+
+                with span(label, **meta):
+                    if arena is None:
+                        return fn(*args)
+                    with use_workspace(arena):
+                        return fn(*args)
+            if arena is None:
+                return fn(*args)
+            with use_workspace(arena):
+                return fn(*args)
+
+        out: list[int] = []
+        try:
+            logits = run("gen.prefill", model.prefill, ids, caches,
+                         tokens=int(ids.shape[1]))
+            # Sample before the next reset: the logits may be
+            # arena-owned, and sample() reduces them to a plain int.
+            token = sampler.sample(logits)
+            out.append(token)
+            while len(out) < max_new_tokens and token != eos_id:
+                logits = run("gen.step", model.step, token, caches,
+                             position=int(caches[0].length))
+                token = sampler.sample(logits)
+                out.append(token)
+        finally:
+            if locked:
+                self._forward_lock.release()
+            for cache in caches:
+                cache.close()
+        return out
+
+    def decode_step_many(self, tokens, cache_lists) -> np.ndarray:
+        """One continuous-batching decode tick: one new token per
+        sequence, coalesced through the pinned engines.
+
+        Returns ``(n, vocab)`` logits; each row is bit-identical to
+        stepping that sequence alone (the batch-invariant contract --
+        see :meth:`generate`).  Runs inside the batch bucket's scratch
+        arena when free; results are copied out before the arena's next
+        reset, exactly like ``__call__``.
+        """
+        self._check_active()
+        model = self.model
+        if not callable(getattr(model, "step_many", None)):
+            raise TypeError(
+                f"model {type(model).__name__!r} has no step_many(); "
+                "continuous batching needs a DecoderLM-style model"
+            )
+        locked = self.workspaces_enabled and self._forward_lock.acquire(
+            blocking=False
+        )
+        arena = self._arena_for(len(tokens)) if locked else None
+        try:
+            if arena is None:
+                return model.step_many(tokens, cache_lists)
+            arena.reset()
+            with use_workspace(arena):
+                out = model.step_many(tokens, cache_lists)
+            result = np.asarray(out)
+            if arena.owns(result):
                 return result.copy()
             return out
         finally:

@@ -52,6 +52,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
         "identical_b1",
         "identical_b2",
     ),
+    "decode": ("speedup_cached_len256", "identical_len256"),
 }
 
 
@@ -134,9 +135,30 @@ def _compiled_kernels_metrics(quick: bool) -> dict[str, float]:
     return metrics
 
 
+def _decode_metrics(quick: bool) -> dict[str, float]:
+    from repro.bench.registry import decode_rows
+
+    metrics: dict[str, float] = {}
+    for row in decode_rows(quick):
+        if row["kind"] == "decode":
+            n = row["length"]
+            metrics[f"cached_tok_per_s_len{n}"] = row["cached_tok_per_s"]
+            metrics[f"recompute_tok_per_s_len{n}"] = row[
+                "recompute_tok_per_s"
+            ]
+            metrics[f"speedup_cached_len{n}"] = row["speedup"]
+            metrics[f"identical_len{n}"] = 1.0 if row["identical"] else 0.0
+        elif row["kind"] == "scheduler":
+            s = row["sequences"]
+            metrics[f"sched_tok_per_s_s{s}"] = row["tok_per_s"]
+            metrics[f"coalescing_s{s}"] = row["coalescing_ratio"]
+    return metrics
+
+
 _COLLECTORS: dict[str, Callable[[bool], dict[str, float]]] = {
     "steady_state": _steady_state_metrics,
     "compiled_kernels": _compiled_kernels_metrics,
+    "decode": _decode_metrics,
 }
 
 

@@ -1,0 +1,16 @@
+"""repro.gen -- autoregressive decode: KV caches, sampling, models.
+
+The generation subsystem opens the workload BiQGEMM is best at
+(batch-1 GEMV decode steps amortized over a resident quantized model,
+paper Fig. 10): :class:`KVCache` holds a sequence's attention state on
+a long-lived workspace arena, :class:`Sampler` turns logits into
+tokens reproducibly, and :class:`DecoderLM` is the decoder-only
+transformer those compose into.  ``CompiledModel.generate`` and the
+serving :class:`repro.serve.SequenceScheduler` build on these.
+"""
+
+from repro.gen.cache import KVCache, cache_bucket
+from repro.gen.model import DecoderLM
+from repro.gen.sampler import Sampler
+
+__all__ = ["DecoderLM", "KVCache", "Sampler", "cache_bucket"]

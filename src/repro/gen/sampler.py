@@ -1,0 +1,81 @@
+"""Token sampling: logits -> next token, reproducibly.
+
+Decoding strategy lives here so the generate loop, the streaming
+scheduler and the tests all share one definition of "what token comes
+next".  Everything is deterministic given the constructor arguments:
+greedy decoding consumes no randomness at all, and stochastic sampling
+draws from a private :func:`numpy.random.default_rng` stream seeded at
+construction -- the same seed replays the same token sequence, which
+is what the ``generate()`` reproducibility tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = ["Sampler"]
+
+
+class Sampler:
+    """Turns a logit vector into a token id.
+
+    Parameters
+    ----------
+    temperature:
+        ``0.0`` (default) is greedy argmax -- fully deterministic, no
+        RNG draw.  Positive values divide the logits before the
+        softmax; higher is flatter.
+    top_k:
+        Restrict sampling to the *k* highest logits (``None`` = full
+        vocabulary).  Ignored under greedy decoding, where argmax
+        already is "top-1".
+    seed:
+        Seed of the private RNG stream used by stochastic sampling.
+
+    One sampler serves one sequence: the RNG stream advances once per
+    stochastic :meth:`sample` call, so interleaving two sequences
+    through a shared sampler would entangle their randomness.
+    """
+
+    def __init__(
+        self,
+        *,
+        temperature: float = 0.0,
+        top_k: int | None = None,
+        seed: int = 0,
+    ):
+        temperature = float(temperature)
+        if not temperature >= 0.0:  # catches NaN too
+            raise ValueError(f"temperature must be >= 0, got {temperature}")
+        if top_k is not None:
+            check_positive_int(top_k, "top_k")
+        self.temperature = temperature
+        self.top_k = top_k
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def greedy(self) -> bool:
+        """Whether this sampler is deterministic argmax decoding."""
+        return self.temperature == 0.0
+
+    def sample(self, logits: np.ndarray) -> int:
+        """The next token id for a ``(vocab,)`` (or ``(1, vocab)``)
+        logit vector."""
+        z = np.asarray(logits, dtype=np.float64).reshape(-1)
+        if not z.size:
+            raise ValueError("cannot sample from empty logits")
+        if self.greedy:
+            return int(np.argmax(z))
+        z = z / self.temperature
+        if self.top_k is not None and self.top_k < z.size:
+            # Keep the k highest; -inf elsewhere so softmax zeroes them.
+            kth = np.partition(z, -self.top_k)[-self.top_k]
+            z = np.where(z >= kth, z, -np.inf)
+        z = z - z.max()
+        p = np.exp(z)
+        cdf = np.cumsum(p)
+        draw = self._rng.random() * cdf[-1]
+        return int(min(np.searchsorted(cdf, draw, side="right"), z.size - 1))

@@ -10,6 +10,27 @@ projection follows the batch regime -- BiQGEMM for single-token
 decoding, dense BLAS for long prefills.  The ``QK^T`` / ``AV`` products
 operate on two activations and stay dense float (weight-only
 quantization).
+
+Determinism contract (the KV-cache bit-identity foundation)
+-----------------------------------------------------------
+Neither activation product may run through ``@``/``np.matmul`` or
+``np.einsum``: BLAS retiles a GEMM by operand size, so the last row of
+a ``(s, d) @ (d, t)`` product is not bit-equal to the ``(1, d) @ (d,
+t)`` GEMV of the same row -- and einsum's iterator likewise regroups
+its SIMD partial sums as the surrounding (non-contracted!) dimensions
+change, so a one-query-row score product disagrees with the same row
+of the nine-row product in the last ulp.  Both products are therefore
+strict sequential left folds: an elementwise outer product followed by
+a running ``cumsum`` along the contraction axis, whose summation
+order per output element depends on nothing but the contraction
+length (fixed ``head_dim`` for scores; for the context product over
+the *variable* sequence axis, appending exactly-zero masked tails
+leaves every prefix total bit-identical).  Combined with the
+left-fold softmax (:func:`repro.nn.functional.softmax`) this makes a
+single-token :meth:`MultiHeadAttention.step` against a KV cache
+bit-identical to the corresponding row of the masked full-sequence
+recompute -- the invariant every engine's decode path is tested
+against.
 """
 
 from __future__ import annotations
@@ -17,10 +38,51 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import check_positive_int
+from repro.core.workspace import current_workspace
 from repro.nn.functional import softmax
 from repro.nn.linear import QuantSpec, make_linear, split_builder_spec
 
-__all__ = ["MultiHeadAttention"]
+__all__ = ["MultiHeadAttention", "attn_context", "attn_scores"]
+
+
+def attn_scores(q: np.ndarray, k: np.ndarray, *, out=None) -> np.ndarray:
+    """Unscaled attention scores ``q . k^T`` over the last axis.
+
+    Shapes ``(..., heads, seq_q, head_dim)`` x ``(..., heads, seq_kv,
+    head_dim) -> (..., heads, seq_q, seq_kv)``; a strict sequential
+    left fold over ``head_dim`` so every score is bit-identical
+    whatever the surrounding batch/sequence shape (see the module
+    docstring).
+    """
+    prod = q[..., :, :, None, :] * k[..., None, :, :]
+    acc = np.cumsum(prod, axis=-1, out=prod)
+    result = acc[..., -1]
+    if out is None:
+        return np.ascontiguousarray(result)
+    np.copyto(out, result)
+    return out
+
+
+def attn_context(attn: np.ndarray, v: np.ndarray, *, out=None) -> np.ndarray:
+    """Probability-weighted values ``attn . v``.
+
+    Shapes ``(..., heads, seq_q, seq_kv)`` x ``(..., heads, seq_kv,
+    head_dim) -> (..., heads, seq_q, head_dim)``.
+
+    This contraction runs over the *variable* sequence axis -- the one
+    that differs between a decode step (cache length ``t``) and the
+    full recompute (final length ``T``).  Like :func:`attn_scores` it
+    is a strict sequential left fold (last element of a running
+    ``cumsum``), so appending masked positions (probability exactly
+    ``0.0``) leaves every prefix total bit-identical.
+    """
+    prod = attn[..., :, :, None] * v[..., None, :, :]
+    acc = np.cumsum(prod, axis=-2, out=prod)
+    result = acc[..., -1, :]
+    if out is None:
+        return np.ascontiguousarray(result)
+    np.copyto(out, result)
+    return out
 
 
 class MultiHeadAttention:
@@ -80,12 +142,20 @@ class MultiHeadAttention:
         key_value: np.ndarray | None = None,
         *,
         mask: np.ndarray | None = None,
+        cache=None,
     ) -> np.ndarray:
         """Attend *query* over *key_value* (self-attention when omitted).
 
         Shapes: ``query`` is ``(batch, seq_q, dim)``; ``key_value`` is
         ``(batch, seq_kv, dim)``; ``mask`` broadcasts against
         ``(batch, heads, seq_q, seq_kv)`` with ``True`` = *masked out*.
+
+        *cache* (a :class:`repro.gen.KVCache`, batch 1, empty) makes
+        this the **prefill** of an incremental sequence: the projected
+        K/V blocks are written into it so later :meth:`step` calls
+        attend over them.  A cross-attention prefill (*key_value*
+        given) freezes the cache -- the encoder memory never changes,
+        so steps only re-project the query.
         """
         q_in = np.asarray(query, dtype=np.float64)
         if q_in.ndim != 3 or q_in.shape[-1] != self.dim:
@@ -96,11 +166,115 @@ class MultiHeadAttention:
         q = self._split(self.q_proj(q_in))
         k = self._split(self.k_proj(kv_in))
         v = self._split(self.v_proj(kv_in))
-        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        if cache is not None:
+            if q_in.shape[0] != 1:
+                raise ValueError(
+                    f"a KV cache holds one sequence; got batch "
+                    f"{q_in.shape[0]}"
+                )
+            if cache.length:
+                raise ValueError(
+                    "__call__ populates an empty cache (prefill); use "
+                    "step() to extend one"
+                )
+            cache.append(k[0], v[0])
+            if key_value is not None:
+                cache.freeze()
+        scores = attn_scores(q, k)
+        scores /= np.sqrt(self.head_dim)
         if mask is not None:
             scores = np.where(np.asarray(mask, dtype=bool), -1e30, scores)
-        attn = softmax(scores, axis=-1)
-        ctx = attn @ v  # (batch, heads, seq_q, head_dim)
+        attn = softmax(scores, out=scores)
+        ctx = attn_context(attn, v)  # (batch, heads, seq_q, head_dim)
         b, _, s, _ = ctx.shape
         merged = ctx.transpose(0, 2, 1, 3).reshape(b, s, self.dim)
+        return self.o_proj(merged)
+
+    def step(self, query: np.ndarray, *, cache) -> np.ndarray:
+        """One decode step: attend a single new token over the cache.
+
+        *query* is ``(1, 1, dim)`` -- the new token's hidden state.
+        For an open (self-attention) cache its projected K/V are
+        appended first, so the token attends over every position
+        including itself; a frozen (cross-attention) cache is read as
+        is.  No mask is needed: the cache *is* the causal history.
+
+        Returns ``(1, 1, dim)``, bit-identical to the last position of
+        the full recompute (see the module docstring).
+        """
+        q_in = np.asarray(query, dtype=np.float64)
+        if q_in.shape != (1, 1, self.dim):
+            raise ValueError(
+                f"step query must be (1, 1, {self.dim}), got {q_in.shape}"
+            )
+        q = self._split(self.q_proj(q_in))[0]  # (heads, 1, head_dim)
+        if not cache.frozen:
+            k_new = self._split(self.k_proj(q_in))[0]
+            v_new = self._split(self.v_proj(q_in))[0]
+            cache.append(k_new, v_new)
+        k, v = cache.view()
+        workspace = current_workspace()
+        if workspace is not None:
+            scores = workspace.acquire(
+                "attn.scores", (self.heads, 1, k.shape[1]), np.float64
+            )
+            attn_scores(q, k, out=scores)
+        else:
+            scores = attn_scores(q, k)
+        scores /= np.sqrt(self.head_dim)
+        attn = softmax(scores, out=scores)
+        ctx = attn_context(attn, v)  # (heads, 1, head_dim)
+        if workspace is not None:
+            workspace.release(scores)
+        merged = ctx.transpose(1, 0, 2).reshape(1, 1, self.dim)
+        return self.o_proj(merged)
+
+    def step_many(self, queries: np.ndarray, caches) -> np.ndarray:
+        """One decode step for *several* sequences at once.
+
+        *queries* is ``(n, 1, dim)`` -- one new token per sequence --
+        and *caches* the matching list of per-sequence KV caches.  The
+        four projections run **batched** (n columns through one engine
+        call -- the LUT-amortization win continuous batching exists
+        for) while the attention itself runs per sequence against its
+        own cache.  Under the batch-invariant contract every projected
+        column is bit-identical to its lone-GEMV value, so the result
+        row for each sequence is bit-identical to a separate
+        :meth:`step` call.
+        """
+        q_in = np.asarray(queries, dtype=np.float64)
+        n = len(caches)
+        if q_in.shape != (n, 1, self.dim):
+            raise ValueError(
+                f"step_many queries must be ({n}, 1, {self.dim}), "
+                f"got {q_in.shape}"
+            )
+        q = self._split(self.q_proj(q_in))  # (n, heads, 1, head_dim)
+        open_caches = [c for c in caches if not c.frozen]
+        if open_caches:
+            if len(open_caches) != n:
+                raise ValueError(
+                    "step_many caches must be uniformly open or frozen"
+                )
+            k_new = self._split(self.k_proj(q_in))
+            v_new = self._split(self.v_proj(q_in))
+            for i, cache in enumerate(caches):
+                cache.append(k_new[i], v_new[i])
+        workspace = current_workspace()
+        ctx = np.empty((n, self.heads, 1, self.head_dim))
+        for i, cache in enumerate(caches):
+            k, v = cache.view()
+            if workspace is not None:
+                scores = workspace.acquire(
+                    "attn.scores", (self.heads, 1, k.shape[1]), np.float64
+                )
+                attn_scores(q[i], k, out=scores)
+            else:
+                scores = attn_scores(q[i], k)
+            scores /= np.sqrt(self.head_dim)
+            attn = softmax(scores, out=scores)
+            attn_context(attn, v, out=ctx[i])
+            if workspace is not None:
+                workspace.release(scores)
+        merged = ctx.transpose(0, 2, 1, 3).reshape(n, 1, self.dim)
         return self.o_proj(merged)

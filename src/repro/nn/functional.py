@@ -24,12 +24,48 @@ __all__ = [
 ]
 
 
-def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax along *axis*."""
+def softmax(
+    x: np.ndarray, axis: int = -1, *, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Numerically stable softmax along *axis*.
+
+    Promotes to float64.  With *out* (shape/dtype of the promoted
+    input; may alias *x*) the result is written in place, so the
+    decode hot loop can route the attention probability matrix through
+    the active workspace arena instead of allocating per step.
+
+    The denominator is a strictly sequential left-fold sum (the last
+    element of a running ``cumsum``), not ``np.sum``: numpy's pairwise
+    reduction changes its association with the reduced length, while a
+    left fold is invariant both to row count and to trailing
+    exactly-zero entries (``s + 0.0 == s`` bitwise for the positive
+    partial sums softmax produces).  Those two invariances are what
+    make KV-cached single-token attention bit-identical to the masked
+    full-sequence recompute: a causal row of length ``t`` and the same
+    row padded with masked (``exp -> 0.0``) positions normalize to
+    identical bits.
+    """
     arr = np.asarray(x, dtype=np.float64)
-    shifted = arr - arr.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    return e / e.sum(axis=axis, keepdims=True)
+    if out is None:
+        out = np.empty_like(arr)
+    else:
+        out = _activation_out(arr, out)
+    np.subtract(arr, arr.max(axis=axis, keepdims=True), out=out)
+    np.exp(out, out=out)
+    from repro.core.workspace import current_workspace
+
+    workspace = current_workspace()
+    if workspace is not None:
+        scratch = workspace.acquire("softmax.cumsum", out.shape, out.dtype)
+    else:
+        scratch = np.empty_like(out)
+    np.cumsum(out, axis=axis, out=scratch)
+    last = [slice(None)] * out.ndim
+    last[axis] = slice(-1, None)
+    out /= scratch[tuple(last)]
+    if workspace is not None:
+        workspace.release(scratch)
+    return out
 
 
 def layer_norm(

@@ -316,7 +316,35 @@ class QuantLinear:
         obj._engines = {}
         obj._build_lock = threading.Lock()
         obj._bias_cache = {}
+        obj._batch_invariant = self._batch_invariant
         return obj
+
+    # Class-level default so every construction path (__init__,
+    # from_engine, with_spec, clone_shared via __new__) starts
+    # non-invariant without each having to set it.
+    _batch_invariant = False
+
+    @property
+    def batch_invariant(self) -> bool:
+        """Whether this layer guarantees column-wise bit-identity.
+
+        In batch-invariant mode every activation column's result is
+        bit-identical whether it arrives alone (a decode step's GEMV)
+        or batched with others (the prefill GEMM) -- the contract the
+        KV-cache bit-identity tests pin.  Engines that are invariant by
+        construction (``engine.batch_invariant``) run unchanged; the
+        rest fall back to one engine call per column for multi-column
+        inputs, trading batched throughput for invariance.  Single
+        columns always take the engine's native path.
+        """
+        return self._batch_invariant
+
+    def set_batch_invariant(self, flag: bool = True) -> None:
+        """Enable (or disable) batch-invariant mode (see
+        :attr:`batch_invariant`).  Flipped by the decode machinery
+        (:func:`repro.gen.model.mark_batch_invariant`); plain batched
+        serving keeps the default off."""
+        self._batch_invariant = bool(flag)
 
     def clone_shared(self) -> "QuantLinear":
         """A layer sharing this one's compiled engines and quantized
@@ -337,6 +365,7 @@ class QuantLinear:
         obj._engines = dict(self._engines)
         obj._build_lock = threading.Lock()
         obj._bias_cache = {}
+        obj._batch_invariant = self._batch_invariant
         return obj
 
     @property
@@ -519,6 +548,26 @@ class QuantLinear:
         engines with ``accepts_profiler`` set.
         """
         kwargs = {} if profiler is None else {"profiler": profiler}
+        if (
+            tokens > 1
+            and self._batch_invariant
+            and not getattr(engine, "batch_invariant", False)
+        ):
+            # Batch-invariant mode on an engine that is not invariant
+            # by construction: compute one column at a time through the
+            # engine's native single-column path, so every column's
+            # bits match what a lone decode-step GEMV would produce.
+            first = engine.matmul(cols[:, :1], **kwargs)
+            out_cols = np.empty((m, tokens), dtype=first.dtype)
+            out_cols[:, :1] = first
+            for j in range(1, tokens):
+                out_cols[:, j : j + 1] = engine.matmul(
+                    cols[:, j : j + 1], **kwargs
+                )
+            out = out_cols.T.reshape(lead + (m,))
+            if getattr(engine, "fused_epilogue", False):
+                return out
+            return _add_bias(out, self.bias)
         workspace = current_workspace()
         matmul_into = (
             getattr(engine, "matmul_into", None)

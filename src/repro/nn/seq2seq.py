@@ -114,19 +114,96 @@ class Seq2SeqTransformer:
         bos: int = 1,
         eos: int = 2,
         max_len: int = 16,
+        use_cache: bool = True,
     ) -> np.ndarray:
         """Greedy autoregressive decoding.
 
         Returns generated ids ``(batch, <=max_len)`` including the BOS
         column; rows stop extending (repeat EOS) once EOS is emitted.
-        """
+
+        By default each row decodes incrementally against per-layer KV
+        caches (:class:`repro.gen.KVCache`): the self-attention prefix
+        and the projected encoder memory are computed once, so every
+        new token costs one GEMV sweep instead of re-running the whole
+        prefix -- the batch-1 regime the paper's kernels target.
+        ``use_cache=False`` runs the legacy per-prefix recompute loop
+        (deprecated; kept as the O(t^2) reference)."""
         check_positive_int(max_len, "max_len")
         for tok, name in ((bos, "bos"), (eos, "eos")):
             if not 0 <= tok < self.vocab_size:
                 raise ValueError(f"{name}={tok} outside vocabulary")
         ids = self._check_ids(src_ids)
         memory = self.encode(ids)
-        batch = ids.shape[0]
+        if not use_cache:
+            import warnings
+
+            warnings.warn(
+                "greedy_decode(use_cache=False) re-runs the whole target "
+                "prefix per emitted token and is deprecated; the cached "
+                "path is the supported decode loop",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self._greedy_recompute(memory, ids.shape[0], bos, eos,
+                                          max_len)
+        rows = [
+            self._greedy_row(memory[i : i + 1], bos, eos, max_len)
+            for i in range(ids.shape[0])
+        ]
+        width = max(len(row) for row in rows)
+        out = np.full((len(rows), width), eos, dtype=np.int64)
+        for i, row in enumerate(rows):
+            out[i, : len(row)] = row
+        return out
+
+    def _greedy_row(
+        self, memory: np.ndarray, bos: int, eos: int, max_len: int
+    ) -> list[int]:
+        """Cached greedy decode of one sequence against its memory row.
+
+        The first (BOS) position is a prefill ``__call__`` populating
+        each decoder layer's self-attention cache and frozen
+        cross-attention cache; every later position is a
+        :meth:`~repro.nn.transformer.TransformerDecoderLayer.step`.
+        """
+        from repro.gen.cache import KVCache
+
+        heads = self.config.heads
+        head_dim = self.config.dim // heads
+        self_caches = [KVCache(heads, head_dim) for _ in self.decoder_layers]
+        cross_caches = [KVCache(heads, head_dim) for _ in self.decoder_layers]
+        tokens = [bos]
+        try:
+            h = self.embedding(
+                np.array([[bos]])
+            ) + positional_encoding(1, self.config.dim)[None]
+            for layer, sc, cc in zip(
+                self.decoder_layers, self_caches, cross_caches
+            ):
+                h = layer(h, memory, self_cache=sc, cross_cache=cc)
+            logits = self.generator(h[:, -1, :])
+            while len(tokens) < max_len:
+                nxt = int(np.argmax(logits))
+                tokens.append(nxt)
+                if nxt == eos:
+                    break
+                t = len(tokens) - 1
+                h = self.embedding(
+                    np.array([[nxt]])
+                ) + positional_encoding(t + 1, self.config.dim)[t][None, None]
+                for layer, sc, cc in zip(
+                    self.decoder_layers, self_caches, cross_caches
+                ):
+                    h = layer.step(h, sc, cc)
+                logits = self.generator(h[:, -1, :])
+        finally:
+            for cache in (*self_caches, *cross_caches):
+                cache.close()
+        return tokens
+
+    def _greedy_recompute(
+        self, memory: np.ndarray, batch: int, bos: int, eos: int, max_len: int
+    ) -> np.ndarray:
         out = np.full((batch, 1), bos, dtype=np.int64)
         finished = np.zeros(batch, dtype=bool)
         for _ in range(max_len - 1):

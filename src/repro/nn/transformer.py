@@ -105,10 +105,33 @@ class TransformerEncoderLayer:
         _finish_build(self, qconfig)
 
     def __call__(
-        self, x: np.ndarray, *, mask: np.ndarray | None = None
+        self, x: np.ndarray, *, mask: np.ndarray | None = None, cache=None
     ) -> np.ndarray:
-        """Apply to ``(batch, seq, dim)`` activations."""
-        h = layer_norm(x + self.attn(x, mask=mask))
+        """Apply to ``(batch, seq, dim)`` activations.
+
+        With *cache* (an empty :class:`repro.gen.KVCache`, batch 1)
+        this is the prefill of an incremental sequence: the layer's
+        projected K/V land in the cache for later :meth:`step` calls.
+        """
+        h = layer_norm(x + self.attn(x, mask=mask, cache=cache))
+        return layer_norm(h + _ff_block(self.ff1, self.ff2, h))
+
+    def step(self, x: np.ndarray, cache) -> np.ndarray:
+        """One decode step over ``(1, 1, dim)``: self-attention against
+        the cache (which the new token joins), then feed-forward.
+
+        Bit-identical to the last position of a causally masked
+        ``__call__`` over the whole prefix (the attention module's
+        determinism contract plus per-position layernorm/residuals)."""
+        h = layer_norm(x + self.attn.step(x, cache=cache))
+        return layer_norm(h + _ff_block(self.ff1, self.ff2, h))
+
+    def step_many(self, x: np.ndarray, caches) -> np.ndarray:
+        """One decode step for several sequences: ``(n, 1, dim)``
+        activations against the matching cache list.  Residuals and
+        layernorm are per-row, so each row is bit-identical to a lone
+        :meth:`step` (see :meth:`MultiHeadAttention.step_many`)."""
+        h = layer_norm(x + self.attn.step_many(x, caches))
         return layer_norm(h + _ff_block(self.ff1, self.ff2, h))
 
 
@@ -151,13 +174,31 @@ class TransformerDecoderLayer:
         memory: np.ndarray,
         *,
         self_mask: np.ndarray | None = None,
+        self_cache=None,
+        cross_cache=None,
     ) -> np.ndarray:
-        """Decode ``(batch, seq, dim)`` against encoder *memory*."""
+        """Decode ``(batch, seq, dim)`` against encoder *memory*.
+
+        The cache pair (empty :class:`repro.gen.KVCache` instances,
+        batch 1) makes this the prefill of an incremental decode: the
+        self-attention K/V of the prefix land in *self_cache* and the
+        projected encoder memory lands in *cross_cache* (frozen -- the
+        memory never changes, so steps only re-project the query).
+        """
         if self_mask is None:
             seq = np.asarray(x).shape[1]
             self_mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
-        h = layer_norm(x + self.self_attn(x, mask=self_mask))
-        h = layer_norm(h + self.cross_attn(h, memory))
+        h = layer_norm(x + self.self_attn(x, mask=self_mask, cache=self_cache))
+        h = layer_norm(h + self.cross_attn(h, memory, cache=cross_cache))
+        return layer_norm(h + _ff_block(self.ff1, self.ff2, h))
+
+    def step(self, x: np.ndarray, self_cache, cross_cache) -> np.ndarray:
+        """One decode step over ``(1, 1, dim)`` against the cache pair.
+
+        *cross_cache* must have been populated (and frozen) by a
+        prefill ``__call__``; *self_cache* grows by the new token."""
+        h = layer_norm(x + self.self_attn.step(x, cache=self_cache))
+        h = layer_norm(h + self.cross_attn.step(h, cache=cross_cache))
         return layer_norm(h + _ff_block(self.ff1, self.ff2, h))
 
 
@@ -186,4 +227,73 @@ class TransformerEncoder:
         h = np.asarray(x, dtype=np.float64)
         for layer in self.layers:
             h = layer(h, mask=mask)
+        return h
+
+    def init_cache(self, *, workspace=None, reserve: int | None = None):
+        """Fresh per-layer KV caches for one incremental sequence.
+
+        *workspace* must be long-lived (see :class:`repro.gen.KVCache`);
+        *reserve* hints the initial bucket capacity (e.g. the prompt
+        length plus the expected generation budget).
+        """
+        from repro.gen.cache import KVCache
+
+        kwargs = {} if reserve is None else {"reserve": reserve}
+        return [
+            KVCache(
+                self.config.heads,
+                self.config.dim // self.config.heads,
+                workspace=workspace,
+                **kwargs,
+            )
+            for _ in self.layers
+        ]
+
+    def prefill(
+        self, x: np.ndarray, caches, *, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Batched forward over the prompt that populates *caches*.
+
+        *x* is ``(1, prompt, dim)``; *caches* is :meth:`init_cache`'s
+        list (one per layer, all empty).  For the later steps to be
+        bit-identical to a full recompute, *mask* must be the causal
+        mask the recompute would use.
+        """
+        if len(caches) != len(self.layers):
+            raise ValueError(
+                f"expected {len(self.layers)} caches, got {len(caches)}"
+            )
+        h = np.asarray(x, dtype=np.float64)
+        for layer, cache in zip(self.layers, caches):
+            h = layer(h, mask=mask, cache=cache)
+        return h
+
+    def step(self, x: np.ndarray, caches) -> np.ndarray:
+        """One decode step ``(1, 1, dim)`` through the whole stack."""
+        if len(caches) != len(self.layers):
+            raise ValueError(
+                f"expected {len(self.layers)} caches, got {len(caches)}"
+            )
+        h = np.asarray(x, dtype=np.float64)
+        for layer, cache in zip(self.layers, caches):
+            h = layer.step(h, cache)
+        return h
+
+    def step_many(self, x: np.ndarray, cache_lists) -> np.ndarray:
+        """One decode step for several sequences through the stack.
+
+        *x* is ``(n, 1, dim)``; *cache_lists* holds one per-layer cache
+        list (:meth:`init_cache`) per sequence.  Each output row is
+        bit-identical to running that sequence's :meth:`step` alone --
+        the scheduler's continuous-batching correctness contract.
+        """
+        for caches in cache_lists:
+            if len(caches) != len(self.layers):
+                raise ValueError(
+                    f"expected {len(self.layers)} caches per sequence, "
+                    f"got {len(caches)}"
+                )
+        h = np.asarray(x, dtype=np.float64)
+        for j, layer in enumerate(self.layers):
+            h = layer.step_many(h, [caches[j] for caches in cache_lists])
         return h

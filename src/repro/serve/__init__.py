@@ -15,11 +15,16 @@ into plan-cache-aligned micro-batches:
   ``max_latency_ms``), backpressure via :class:`QueueFullError`;
 - :class:`WorkerPool` -- worker threads on warmed
   :meth:`~repro.api.CompiledModel.clone` replicas;
+- :class:`SequenceScheduler` -- continuous batching for autoregressive
+  decode: concurrent :class:`GenerationStream` s coalesce their
+  per-token steps into shared batched GEMV ticks, with per-sequence
+  deadlines, cancellation and the same backpressure signal;
 - :class:`Server` -- synchronous in-process frontend plus a stdlib
-  ``http.server`` JSON API (``/predict``, ``/models``, ``/healthz``,
-  ``/metrics``);
+  ``http.server`` JSON API (``/predict``, streaming ``/generate``,
+  ``/models``, ``/healthz``, ``/metrics``);
 - :mod:`~repro.serve.telemetry` -- latency quantiles, queue depth,
-  batch-size distribution, LUT-amortization ratio.
+  batch-size distribution, LUT-amortization ratio, and decode vitals
+  (tokens/s, inter-token latency, coalescing ratio).
 
 Quick start (see also ``examples/serve_http.py`` and ``python -m
 repro.serve --help``)::
@@ -40,20 +45,24 @@ from repro.serve.batcher import (
     QueueFullError,
 )
 from repro.serve.pool import WorkerPool
+from repro.serve.sequences import GenerationStream, SequenceScheduler
 from repro.serve.server import ServeConfig, Server
 from repro.serve.store import ModelNotFound, ModelStore, StoredModel
-from repro.serve.telemetry import Histogram, ModelTelemetry
+from repro.serve.telemetry import GenTelemetry, Histogram, ModelTelemetry
 
 __all__ = [
     "Batch",
     "Batcher",
     "BatcherClosed",
+    "GenTelemetry",
+    "GenerationStream",
     "Histogram",
     "ModelNotFound",
     "ModelStore",
     "ModelTelemetry",
     "PendingRequest",
     "QueueFullError",
+    "SequenceScheduler",
     "ServeConfig",
     "Server",
     "StoredModel",

@@ -6,8 +6,8 @@
 
 loads the artifact into a :class:`~repro.serve.ModelStore`, starts the
 dynamic-batching worker pool, and blocks on the JSON/HTTP frontend
-(``POST /predict``, ``GET /models /healthz /metrics``) until
-interrupted.  Multiple artifacts serve side by side::
+(``POST /predict``, streaming ``POST /generate`` for decoder LMs,
+``GET /models /healthz /metrics``) until interrupted.  Multiple artifacts serve side by side::
 
     python -m repro.serve a.npz b.npz --name model-a --name model-b
 """
@@ -49,6 +49,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-batch", type=int, default=32)
     parser.add_argument("--max-latency-ms", type=float, default=5.0)
     parser.add_argument("--max-queue", type=int, default=256)
+    parser.add_argument(
+        "--max-sequences",
+        type=int,
+        default=16,
+        help="live generation streams per model (POST /generate)",
+    )
+    parser.add_argument(
+        "--decode-latency-ms",
+        type=float,
+        default=2.0,
+        help="how long a decode tick waits to coalesce more sequences",
+    )
     parser.add_argument(
         "--budget-mb",
         type=float,
@@ -98,6 +110,8 @@ def main(argv: list[str] | None = None) -> int:
         max_batch=args.max_batch,
         max_latency_ms=args.max_latency_ms,
         max_queue=args.max_queue,
+        max_sequences=args.max_sequences,
+        decode_latency_ms=args.decode_latency_ms,
         budget_bytes=(
             int(args.budget_mb * 1e6) if args.budget_mb is not None else None
         ),

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import CancelledError
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -65,6 +66,11 @@ class PendingRequest:
 
     x: np.ndarray
     enqueue_time: float
+    # Opaque caller payload riding with the request (the sequence
+    # scheduler hangs a sequence's KV caches here so the decode worker
+    # can route each coalesced token to its own cache).  Never touches
+    # coalescing: requests group by (shape, dtype) of ``x`` alone.
+    meta: object | None = None
     _done: threading.Event = field(default_factory=threading.Event)
     _result: np.ndarray | None = None
     _error: BaseException | None = None
@@ -193,15 +199,17 @@ class Batcher:
         self._coalescing = False
 
     # -- producer side -------------------------------------------------
-    def enqueue(self, x: np.ndarray) -> PendingRequest:
+    def enqueue(self, x: np.ndarray, *, meta=None) -> PendingRequest:
         """Admit one request; returns its handle.
 
-        Raises :class:`QueueFullError` when the queue is at capacity
-        (the caller should surface backpressure, not retry blindly) and
-        ``RuntimeError`` after :meth:`close`.
+        *meta* rides on the handle untouched (see
+        :attr:`PendingRequest.meta`).  Raises :class:`QueueFullError`
+        when the queue is at capacity (the caller should surface
+        backpressure, not retry blindly) and ``RuntimeError`` after
+        :meth:`close`.
         """
         request = PendingRequest(
-            x=np.asarray(x), enqueue_time=time.monotonic()
+            x=np.asarray(x), enqueue_time=time.monotonic(), meta=meta
         )
         if _obs.TRACING:
             # Started on the producer thread so it parents onto the
@@ -267,6 +275,12 @@ class Batcher:
             for request in self._queue:
                 if request.cancelled:
                     request.end_queue_span(outcome="cancelled")
+                    # Completing the drop makes "this request will never
+                    # execute" observable: the sequence scheduler waits
+                    # on it before releasing the sequence's KV blocks.
+                    request.set_error(
+                        CancelledError("request cancelled while queued")
+                    )
             self._queue = live
             self._cond.notify_all()
 

@@ -9,6 +9,9 @@ the same surface over a stdlib ``http.server`` JSON API (no third-party
 dependencies, matching this repo's constraint):
 
 - ``POST /predict``  ``{"model": "name", "input": [...]}`` -> output
+- ``POST /generate`` ``{"model": "name", "prompt": [ids], ...}`` ->
+  streamed JSON lines, one token per event (continuous batching across
+  concurrent streams; see :mod:`repro.serve.sequences`)
 - ``GET /models``    registered models and versions
 - ``GET /healthz``   liveness + per-model worker state
 - ``GET /metrics``   telemetry snapshots (latency quantiles, batch
@@ -46,6 +49,7 @@ from repro.api.model import CompiledModel, QuantModel
 from repro.obs import runtime as _obs
 from repro.serve.batcher import Batcher, BatcherClosed, QueueFullError
 from repro.serve.pool import WorkerPool
+from repro.serve.sequences import GenerationStream, SequenceScheduler
 from repro.serve.store import ModelNotFound, ModelStore
 from repro.serve.telemetry import ModelTelemetry
 
@@ -71,6 +75,10 @@ class ServeConfig:
     max_queue: int = 256
     budget_bytes: int | None = None
     request_timeout_s: float = 30.0
+    # Generation (``/generate``): live-stream admission cap per model
+    # and how long a decode tick waits to coalesce more sequences.
+    max_sequences: int = 16
+    decode_latency_ms: float = 2.0
 
 
 @dataclass
@@ -115,6 +123,9 @@ class Server:
         self._chained_on_evict = self.store.on_evict
         self.store.on_evict = self._on_store_evict
         self._runtimes: dict[str, _ModelRuntime] = {}
+        # Decode schedulers, created lazily on the first /generate for a
+        # model (most served models have no incremental decode API).
+        self._schedulers: dict[str, "SequenceScheduler"] = {}
         self._lock = threading.Lock()
         self._started = False
         self._httpd: ThreadingHTTPServer | None = None
@@ -176,6 +187,11 @@ class Server:
             # The new runtime's telemetry restarts from zero; its
             # metric series must too (counters never go backwards).
             self._prune_model_metrics(name)
+        if runtime is not None or unused is not None:
+            # A hot-swap retires the old version's decode scheduler too
+            # (its KV arena and worker belong to the old model); the
+            # next /generate lazily builds one on the new version.
+            self._stop_scheduler(name)
 
     def _on_store_evict(self, name: str) -> None:
         with self._lock:
@@ -183,8 +199,15 @@ class Server:
         if runtime is not None:
             runtime.pool.stop(drain=True)
             self._prune_model_metrics(name)
+        self._stop_scheduler(name)
         if self._chained_on_evict is not None:
             self._chained_on_evict(name)
+
+    def _stop_scheduler(self, name: str) -> None:
+        with self._lock:
+            scheduler = self._schedulers.pop(name, None)
+        if scheduler is not None:
+            scheduler.stop()
 
     def _prune_model_metrics(self, name: str) -> None:
         """Drop *name*'s series from the metrics registry (teardown /
@@ -241,6 +264,51 @@ class Server:
                 "requests currently queued",
                 model=name,
             ).set(runtime.batcher.pending())
+        with self._lock:
+            schedulers = dict(self._schedulers)
+        for name, scheduler in sorted(schedulers.items()):
+            gen = scheduler.telemetry
+            registry.register_histogram(
+                "repro_gen_inter_token_seconds",
+                gen.inter_token,
+                "time between consecutive streamed tokens",
+                model=name,
+            )
+            registry.register_histogram(
+                "repro_gen_prefill_seconds",
+                gen.prefill,
+                "prompt prefill latency",
+                model=name,
+            )
+            gen_counters = (
+                ("tokens", gen.tokens, "tokens decoded"),
+                ("sequences", gen.sequences, "sequences admitted"),
+                ("completed", gen.completed, "sequences finished"),
+                ("cancelled", gen.cancelled, "sequences cancelled mid-stream"),
+                ("deadline_expired", gen.deadline_expired,
+                 "sequences past their deadline"),
+                ("rejected", gen.rejected, "sequences refused at admission"),
+                ("ticks", gen.ticks, "batched decode executions"),
+            )
+            for metric, value, help_text in gen_counters:
+                registry.counter(
+                    f"repro_gen_{metric}_total", help_text, model=name
+                ).set(value)
+            registry.gauge(
+                "repro_gen_tokens_per_s",
+                "decode throughput over busy wall time, all sequences",
+                model=name,
+            ).set(gen.tokens_per_s)
+            registry.gauge(
+                "repro_gen_coalescing_ratio",
+                "tokens decoded per batched execution (mean decode batch)",
+                model=name,
+            ).set(gen.coalescing_ratio)
+            registry.gauge(
+                "repro_gen_sequences_live",
+                "decode streams currently live",
+                model=name,
+            ).set(scheduler.active())
         registry.gauge(
             "repro_store_models", "compiled models resident in the store"
         ).set(len(self.store))
@@ -289,7 +357,10 @@ class Server:
         self.stop_http()
         with self._lock:
             runtimes, self._runtimes = dict(self._runtimes), {}
+            schedulers, self._schedulers = dict(self._schedulers), {}
             self._started = False
+        for scheduler in schedulers.values():
+            scheduler.stop()
         for runtime in runtimes.values():
             runtime.pool.stop()
         if self._metrics_collector is not None:
@@ -379,6 +450,55 @@ class Server:
             )
             raise
 
+    def _scheduler(self, name: str) -> SequenceScheduler:
+        """The model's decode scheduler, created on first use."""
+        with self._lock:
+            if not self._started:
+                raise RuntimeError(
+                    "server is not started; call start() or use it as a "
+                    "context manager"
+                )
+            scheduler = self._schedulers.get(name)
+        if scheduler is not None:
+            return scheduler
+        compiled = self.store.get(name)  # raises ModelNotFound
+        candidate = SequenceScheduler(
+            compiled,
+            max_sequences=self.config.max_sequences,
+            max_latency_ms=self.config.decode_latency_ms,
+            name=name,
+        )
+        with self._lock:
+            scheduler = self._schedulers.get(name)
+            if scheduler is None and self._started and name in self.store:
+                scheduler = self._schedulers[name] = candidate.start()
+        if scheduler is not candidate:
+            candidate.stop()
+        if scheduler is None:
+            raise BatcherClosed(f"model {name!r} is shutting down")
+        return scheduler
+
+    def generate(
+        self,
+        name: str,
+        prompt,
+        max_new_tokens: int,
+        **kwargs,
+    ) -> GenerationStream:
+        """Open a continuously-batched decode stream on *name*.
+
+        Keyword arguments are :meth:`SequenceScheduler.generate`'s
+        (``temperature``, ``top_k``, ``seed``, ``eos_id``,
+        ``deadline_s``).  Iterate the returned
+        :class:`~repro.serve.sequences.GenerationStream` for token ids;
+        concurrent streams on one model coalesce into shared decode
+        ticks.  Raises :class:`~repro.serve.batcher.QueueFullError`
+        once ``max_sequences`` streams are live.
+        """
+        return self._scheduler(name).generate(
+            prompt, max_new_tokens, **kwargs
+        )
+
     def _submit(self, name: str, x: np.ndarray, timeout: float) -> np.ndarray:
         # A hot-swap can seal the runtime we just resolved (between the
         # lookup and the submit); re-resolve and retry -- the new pool
@@ -408,10 +528,14 @@ class Server:
         """
         with self._lock:
             runtimes = dict(self._runtimes)
+            schedulers = dict(self._schedulers)
         models = {}
         for name, runtime in sorted(runtimes.items()):
             snapshot = runtime.telemetry.snapshot()
             snapshot["workspace"] = runtime.pool.workspace_stats()
+            scheduler = schedulers.get(name)
+            if scheduler is not None:
+                snapshot["generation"] = scheduler.telemetry.snapshot()
             models[name] = snapshot
         return {
             "models": models,
@@ -562,6 +686,9 @@ def _make_handler(server: Server):
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
         def do_POST(self) -> None:  # noqa: N802
+            if self.path == "/generate":
+                self._do_generate()
+                return
             if self.path != "/predict":
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
                 return
@@ -597,6 +724,113 @@ def _make_handler(server: Server):
                         "request_id": rid,
                     },
                 )
+
+        def _do_generate(self) -> None:
+            """Streaming decode: JSON-lines, one event per token.
+
+            The response carries no Content-Length -- each generated
+            token is written (and flushed) as one
+            ``{"token": ..., "index": ...}`` line the moment its decode
+            tick resolves, followed by a final ``{"done": true, ...}``
+            line; the connection closing delimits the body.  A client
+            that disconnects mid-stream cancels its sequence (the next
+            write raises, the stream is closed, its KV blocks return to
+            the arena) without touching the other coalesced sequences.
+            """
+            rid = uuid.uuid4().hex[:16]
+            try:
+                request = self._read_generate_request()
+            except ValueError as exc:
+                self._reply(400, {"error": str(exc), "request_id": rid})
+                return
+            name = request.pop("model")
+            try:
+                stream = server.generate(name, **request)
+            except ModelNotFound as exc:
+                self._error(404, exc, rid)
+                return
+            except QueueFullError as exc:
+                self._error(429, exc, rid)
+                return
+            except (BatcherClosed, RuntimeError) as exc:
+                self._error(503, exc, rid)
+                return
+            except (ValueError, TypeError) as exc:
+                self._error(400, exc, rid)
+                return
+            except Exception as exc:  # noqa: BLE001 -- HTTP boundary
+                self._error(500, exc, rid)
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", "application/jsonl")
+            self.send_header("X-Request-Id", rid)
+            self.end_headers()
+            try:
+                with stream:
+                    for index, token in enumerate(stream):
+                        self._write_event(
+                            {"token": int(token), "index": index}
+                        )
+                    self._write_event(
+                        {
+                            "done": True,
+                            "finish_reason": stream.finish_reason,
+                            "tokens": len(stream.tokens),
+                            "request_id": rid,
+                        }
+                    )
+            except (BrokenPipeError, ConnectionError, OSError):
+                # Client went away: the ``with`` already cancelled the
+                # sequence; nothing useful left to send.
+                pass
+            except Exception as exc:  # noqa: BLE001 -- HTTP boundary
+                try:
+                    self._write_event(
+                        {
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "request_id": rid,
+                        }
+                    )
+                except OSError:
+                    pass
+
+        def _write_event(self, event: dict) -> None:
+            self.wfile.write(json.dumps(event).encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+        def _read_generate_request(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise ValueError("request body is required")
+            if length > _MAX_BODY_BYTES:
+                raise ValueError("request body too large")
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON body: {exc}") from exc
+            if not isinstance(payload, dict) or "prompt" not in payload:
+                raise ValueError(
+                    'body must be a JSON object with a "prompt" field '
+                    "(a list of token ids)"
+                )
+            try:
+                prompt = np.asarray(payload["prompt"], dtype=np.int64)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"invalid prompt: {exc}") from exc
+            request = {
+                "model": str(payload.get("model", "default")),
+                "prompt": prompt,
+                "max_new_tokens": int(payload.get("max_new_tokens", 16)),
+                "temperature": float(payload.get("temperature", 0.0)),
+                "seed": int(payload.get("seed", 0)),
+            }
+            if payload.get("top_k") is not None:
+                request["top_k"] = int(payload["top_k"])
+            if payload.get("eos_id") is not None:
+                request["eos_id"] = int(payload["eos_id"])
+            if payload.get("deadline_ms") is not None:
+                request["deadline_s"] = float(payload["deadline_ms"]) / 1e3
+            return request
 
         def _read_request(self) -> dict:
             length = int(self.headers.get("Content-Length") or 0)

@@ -14,10 +14,11 @@ the ``/metrics`` endpoint.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.obs.metrics import Histogram
 
-__all__ = ["Histogram", "ModelTelemetry"]
+__all__ = ["GenTelemetry", "Histogram", "ModelTelemetry"]
 
 # Histogram now lives in repro.obs.metrics (the unified registry needs
 # it below the serving layer) and is re-exported here unchanged for the
@@ -107,4 +108,126 @@ class ModelTelemetry:
                 "batch_size_counts": dict(
                     sorted(self.batch_sizes.items())
                 ),
+            }
+
+
+class GenTelemetry:
+    """Thread-safe generation metrics for one served model.
+
+    Decode serving has its own vitals: **tokens/s** (the paper's
+    Fig. 10 axis -- decode throughput across all live sequences) and
+    **inter-token latency** (what a streaming client actually feels
+    between events).  Tokens/s is measured over busy wall time -- from
+    each sequence's first decoded token to its last recorded one -- so
+    idle servers don't dilute the rate.
+    """
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self.inter_token = Histogram(window)  # seconds between tokens
+        self.prefill = Histogram(window)  # seconds per prompt prefill
+        self.tokens = 0  # decoded across all sequences
+        self.sequences = 0  # admitted
+        self.completed = 0  # ran to a natural end (length / eos)
+        self.cancelled = 0  # client went away mid-stream
+        self.deadline_expired = 0  # per-sequence deadline hit
+        self.rejected = 0  # refused at admission (backpressure)
+        self.ticks = 0  # batched decode executions
+        self.tick_sizes: dict[int, int] = {}
+        self._busy_started: float | None = None
+        self._busy_seconds = 0.0
+        self._active = 0
+
+    # -- recording hooks ------------------------------------------------
+    def record_admit(self) -> None:
+        with self._lock:
+            self.sequences += 1
+            if self._active == 0:
+                self._busy_started = time.monotonic()
+            self._active += 1
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_prefill(self, seconds: float) -> None:
+        with self._lock:
+            self.prefill.record(seconds)
+
+    def record_token(self, inter_token_seconds: float | None = None) -> None:
+        with self._lock:
+            self.tokens += 1
+            if inter_token_seconds is not None:
+                self.inter_token.record(inter_token_seconds)
+
+    def record_tick(self, size: int) -> None:
+        with self._lock:
+            self.ticks += 1
+            self.tick_sizes[size] = self.tick_sizes.get(size, 0) + 1
+
+    def record_finish(self, reason: str) -> None:
+        with self._lock:
+            if reason == "cancelled":
+                self.cancelled += 1
+            elif reason == "deadline":
+                self.deadline_expired += 1
+            else:  # length / eos: the stream ran to its natural end
+                self.completed += 1
+            self._active -= 1
+            if self._active == 0 and self._busy_started is not None:
+                self._busy_seconds += time.monotonic() - self._busy_started
+                self._busy_started = None
+
+    # -- reading --------------------------------------------------------
+    @property
+    def tokens_per_s(self) -> float:
+        """Decode throughput over busy wall time, all sequences pooled."""
+        with self._lock:
+            busy = self._busy_seconds
+            if self._busy_started is not None:
+                busy += time.monotonic() - self._busy_started
+            return self.tokens / busy if busy > 0 else 0.0
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Tokens decoded per batched model execution (mean decode
+        batch) -- the continuous-batching analogue of the
+        LUT-amortization ratio."""
+        with self._lock:
+            return self.tokens / self.ticks if self.ticks else 0.0
+
+    def snapshot(self) -> dict:
+        """One JSON-able dict for ``/metrics`` (milliseconds for
+        latencies)."""
+        tokens_per_s = self.tokens_per_s
+        with self._lock:
+            itl = self.inter_token.snapshot()
+            pre = self.prefill.snapshot()
+            return {
+                "sequences": self.sequences,
+                "completed": self.completed,
+                "cancelled": self.cancelled,
+                "deadline_expired": self.deadline_expired,
+                "rejected": self.rejected,
+                "tokens": self.tokens,
+                "ticks": self.ticks,
+                "tokens_per_s": tokens_per_s,
+                "coalescing_ratio": (
+                    self.tokens / self.ticks if self.ticks else 0.0
+                ),
+                "inter_token_ms": {
+                    "count": itl["count"],
+                    "mean": itl["mean"] * 1e3,
+                    "p50": itl["p50"] * 1e3,
+                    "p95": itl["p95"] * 1e3,
+                    "p99": itl["p99"] * 1e3,
+                },
+                "prefill_ms": {
+                    "count": pre["count"],
+                    "mean": pre["mean"] * 1e3,
+                    "p50": pre["p50"] * 1e3,
+                    "p95": pre["p95"] * 1e3,
+                    "p99": pre["p99"] * 1e3,
+                },
+                "tick_size_counts": dict(sorted(self.tick_sizes.items())),
             }

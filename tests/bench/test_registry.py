@@ -28,7 +28,7 @@ class TestRegistry:
             "mu", "lut_build", "tiling", "threads",
             "models", "shared", "cache", "qat",
             "dispatch", "model_compile", "serve", "steady_state",
-            "compiled_kernels", "obs_overhead",
+            "compiled_kernels", "obs_overhead", "decode",
         }
         assert expected == set(EXPERIMENTS)
 

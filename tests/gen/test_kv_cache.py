@@ -1,0 +1,96 @@
+"""KVCache: bucketed growth, views, workspace residency, lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.workspace import Workspace
+from repro.gen.cache import MIN_BUCKET, KVCache, cache_bucket
+
+
+class TestCacheBucket:
+    def test_minimum(self):
+        assert cache_bucket(1) == MIN_BUCKET
+        assert cache_bucket(MIN_BUCKET) == MIN_BUCKET
+
+    def test_power_of_two_multiples(self):
+        assert cache_bucket(MIN_BUCKET + 1) == 2 * MIN_BUCKET
+        assert cache_bucket(4 * MIN_BUCKET) == 4 * MIN_BUCKET
+        assert cache_bucket(4 * MIN_BUCKET + 1) == 8 * MIN_BUCKET
+
+    def test_monotone(self):
+        buckets = [cache_bucket(n) for n in range(1, 300)]
+        assert all(b >= n for n, b in enumerate(buckets, start=1))
+        assert buckets == sorted(buckets)
+
+
+class TestKVCache:
+    def _fill(self, cache, rng, count):
+        ks, vs = [], []
+        for _ in range(count):
+            k = rng.standard_normal((cache.heads, 1, cache.head_dim))
+            v = rng.standard_normal((cache.heads, 1, cache.head_dim))
+            cache.append(k, v)
+            ks.append(k)
+            vs.append(v)
+        return np.concatenate(ks, axis=1), np.concatenate(vs, axis=1)
+
+    def test_view_returns_exact_prefix(self, rng):
+        cache = KVCache(2, 4)
+        k_ref, v_ref = self._fill(cache, rng, 5)
+        k, v = cache.view()
+        assert k.shape == (2, 5, 4)
+        np.testing.assert_array_equal(k, k_ref)
+        np.testing.assert_array_equal(v, v_ref)
+
+    def test_growth_across_bucket_boundary_preserves_bits(self, rng):
+        cache = KVCache(2, 4, reserve=MIN_BUCKET)
+        count = 3 * MIN_BUCKET + 5  # crosses two boundaries
+        k_ref, v_ref = self._fill(cache, rng, count)
+        assert cache.length == count
+        assert cache.capacity >= count
+        k, v = cache.view()
+        np.testing.assert_array_equal(k, k_ref)
+        np.testing.assert_array_equal(v, v_ref)
+
+    def test_capacity_follows_buckets(self, rng):
+        cache = KVCache(1, 2)
+        assert cache.capacity == MIN_BUCKET
+        self._fill(cache, rng, MIN_BUCKET + 1)
+        assert cache.capacity == cache_bucket(MIN_BUCKET + 1)
+
+    def test_reserve_prevents_growth(self, rng):
+        cache = KVCache(1, 2, reserve=100)
+        start = cache.capacity
+        self._fill(cache, rng, 100)
+        assert cache.capacity == start
+
+    def test_workspace_blocks_released_on_close(self, rng):
+        ws = Workspace(name="kv-test")
+        cache = KVCache(2, 4, workspace=ws, reserve=MIN_BUCKET)
+        self._fill(cache, rng, MIN_BUCKET + 1)  # forces one grow+release
+        assert ws.stats()["bytes_resident"] > 0
+        cache.close()
+        cache.close()  # idempotent
+        # A fresh same-shape cache reuses the released blocks.
+        before = ws.stats()["bytes_resident"]
+        again = KVCache(2, 4, workspace=ws, reserve=MIN_BUCKET)
+        assert ws.stats()["bytes_resident"] == before
+        again.close()
+
+    def test_frozen_rejects_append(self, rng):
+        cache = KVCache(2, 4)
+        self._fill(cache, rng, 3)
+        cache.freeze()
+        assert cache.frozen
+        k = rng.standard_normal((2, 1, 4))
+        with pytest.raises(RuntimeError):
+            cache.append(k, k)
+
+    def test_closed_rejects_use(self, rng):
+        cache = KVCache(2, 4)
+        self._fill(cache, rng, 2)
+        cache.close()
+        with pytest.raises(RuntimeError):
+            cache.view()

@@ -1,0 +1,75 @@
+"""Sampler: greedy determinism, seeded replay, top-k restriction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gen.sampler import Sampler
+
+
+class TestGreedy:
+    def test_argmax(self):
+        sampler = Sampler()
+        assert sampler.greedy
+        assert sampler.sample(np.array([0.1, 2.0, -1.0])) == 1
+
+    def test_accepts_row_vector(self):
+        assert Sampler().sample(np.array([[0.0, 3.0, 1.0]])) == 1
+
+    def test_consumes_no_randomness(self):
+        a, b = Sampler(seed=1), Sampler(seed=2)
+        logits = np.array([0.5, 1.5, 0.25])
+        assert a.sample(logits) == b.sample(logits)
+
+
+class TestStochastic:
+    def test_same_seed_replays(self, rng):
+        logits = rng.standard_normal(40)
+        a = Sampler(temperature=0.8, seed=7)
+        b = Sampler(temperature=0.8, seed=7)
+        draws_a = [a.sample(logits) for _ in range(20)]
+        draws_b = [b.sample(logits) for _ in range(20)]
+        assert draws_a == draws_b
+
+    def test_different_seeds_diverge(self, rng):
+        logits = rng.standard_normal(40)
+        a = Sampler(temperature=1.5, seed=7)
+        b = Sampler(temperature=1.5, seed=8)
+        assert [a.sample(logits) for _ in range(20)] != [
+            b.sample(logits) for _ in range(20)
+        ]
+
+    def test_top_k_restricts_support(self, rng):
+        logits = rng.standard_normal(100)
+        allowed = set(np.argsort(logits)[-5:])
+        sampler = Sampler(temperature=2.0, top_k=5, seed=0)
+        assert all(
+            sampler.sample(logits) in allowed for _ in range(200)
+        )
+
+    def test_temperature_flattens(self, rng):
+        logits = np.array([5.0, 0.0, 0.0, 0.0])
+        cold = Sampler(temperature=0.1, seed=0)
+        hot = Sampler(temperature=50.0, seed=0)
+        cold_hits = sum(cold.sample(logits) == 0 for _ in range(200))
+        hot_hits = sum(hot.sample(logits) == 0 for _ in range(200))
+        assert cold_hits > hot_hits
+
+
+class TestValidation:
+    def test_negative_temperature(self):
+        with pytest.raises(ValueError):
+            Sampler(temperature=-0.5)
+
+    def test_nan_temperature(self):
+        with pytest.raises(ValueError):
+            Sampler(temperature=float("nan"))
+
+    def test_bad_top_k(self):
+        with pytest.raises(ValueError):
+            Sampler(temperature=1.0, top_k=0)
+
+    def test_empty_logits(self):
+        with pytest.raises(ValueError):
+            Sampler().sample(np.array([]))
