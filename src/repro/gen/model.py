@@ -153,6 +153,18 @@ class DecoderLM:
             )
         if not np.issubdtype(arr.dtype, np.integer):
             raise TypeError(f"token ids must be integers, got {arr.dtype}")
+        if arr.size:
+            # Out-of-range ids must fail loudly here: negative ids
+            # would otherwise wrap silently through numpy indexing into
+            # the wrong embedding row, and ids >= vocab_size would
+            # surface as an IndexError deep in the forward (a 500 at
+            # the serving boundary instead of a 400 ValueError).
+            lo, hi = int(arr.min()), int(arr.max())
+            if lo < 0 or hi >= self.vocab_size:
+                raise ValueError(
+                    f"token ids must be in [0, {self.vocab_size}), got "
+                    f"values in [{lo}, {hi}]"
+                )
         return arr
 
     def _embed(self, ids: np.ndarray) -> np.ndarray:

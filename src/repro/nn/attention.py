@@ -44,22 +44,52 @@ from repro.nn.linear import QuantSpec, make_linear, split_builder_spec
 
 __all__ = ["MultiHeadAttention", "attn_context", "attn_scores"]
 
+# Bound on the outer-product temporary the fold helpers materialize at
+# once, in elements (~32 MiB of float64).  The fold walks the
+# contraction axis in chunks of this budget, carrying the running sum
+# between chunks, so a 512-token prefill peaks at the budget instead of
+# the full (seq_q, seq_kv, head_dim) product (~8.6 GiB at seq=512,
+# heads=8, head_dim=64).  Chunking never changes bits: seeding a
+# chunk's first element with the carry keeps every output element's
+# additions in exactly the unchunked left-fold order (and a decode
+# step's product fits in one chunk anyway).
+FOLD_BUDGET_ELEMS = 4 * 1024 * 1024
+
+
+def _fold_chunk(total: int, slice_elems: int) -> int:
+    """Chunk length along a contraction axis of *total* elements whose
+    per-element outer-product slice holds *slice_elems* entries."""
+    return max(1, min(total, FOLD_BUDGET_ELEMS // max(slice_elems, 1)))
+
 
 def attn_scores(q: np.ndarray, k: np.ndarray, *, out=None) -> np.ndarray:
     """Unscaled attention scores ``q . k^T`` over the last axis.
 
     Shapes ``(..., heads, seq_q, head_dim)`` x ``(..., heads, seq_kv,
     head_dim) -> (..., heads, seq_q, seq_kv)``; a strict sequential
-    left fold over ``head_dim`` so every score is bit-identical
+    left fold over ``head_dim``, computed in memory-bounded chunks (see
+    :data:`FOLD_BUDGET_ELEMS`), so every score is bit-identical
     whatever the surrounding batch/sequence shape (see the module
     docstring).
     """
-    prod = q[..., :, :, None, :] * k[..., None, :, :]
-    acc = np.cumsum(prod, axis=-1, out=prod)
-    result = acc[..., -1]
+    d = q.shape[-1]
+    slice_shape = np.broadcast_shapes(
+        q.shape[:-1] + (1,), k.shape[:-2] + (1,) + k.shape[-2:-1]
+    )
+    chunk = _fold_chunk(d, int(np.prod(slice_shape, dtype=np.int64)))
+    acc = None
+    for start in range(0, d, chunk):
+        stop = min(d, start + chunk)
+        prod = q[..., :, :, None, start:stop] * k[..., None, :, start:stop]
+        if acc is not None:
+            prod[..., 0] += acc
+        np.cumsum(prod, axis=-1, out=prod)
+        acc = prod[..., -1]
+        if stop < d:
+            acc = acc.copy()  # detach the carry so the chunk buffer frees
     if out is None:
-        return np.ascontiguousarray(result)
-    np.copyto(out, result)
+        return np.ascontiguousarray(acc)
+    np.copyto(out, acc)
     return out
 
 
@@ -72,16 +102,30 @@ def attn_context(attn: np.ndarray, v: np.ndarray, *, out=None) -> np.ndarray:
     This contraction runs over the *variable* sequence axis -- the one
     that differs between a decode step (cache length ``t``) and the
     full recompute (final length ``T``).  Like :func:`attn_scores` it
-    is a strict sequential left fold (last element of a running
-    ``cumsum``), so appending masked positions (probability exactly
-    ``0.0``) leaves every prefix total bit-identical.
+    is a strict sequential left fold over memory-bounded chunks, so
+    both chunk boundaries and appended masked positions (probability
+    exactly ``0.0``) leave every prefix total bit-identical.
     """
-    prod = attn[..., :, :, None] * v[..., None, :, :]
-    acc = np.cumsum(prod, axis=-2, out=prod)
-    result = acc[..., -1, :]
+    t = v.shape[-2]
+    slice_shape = np.broadcast_shapes(
+        attn.shape[:-1] + (1,), v.shape[:-2] + (1,) + v.shape[-1:]
+    )
+    chunk = _fold_chunk(t, int(np.prod(slice_shape, dtype=np.int64)))
+    acc = None
+    for start in range(0, t, chunk):
+        stop = min(t, start + chunk)
+        prod = (
+            attn[..., :, start:stop, None] * v[..., None, start:stop, :]
+        )
+        if acc is not None:
+            prod[..., 0, :] += acc
+        np.cumsum(prod, axis=-2, out=prod)
+        acc = prod[..., -1, :]
+        if stop < t:
+            acc = acc.copy()  # detach the carry so the chunk buffer frees
     if out is None:
-        return np.ascontiguousarray(result)
-    np.copyto(out, result)
+        return np.ascontiguousarray(acc)
+    np.copyto(out, acc)
     return out
 
 

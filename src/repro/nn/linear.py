@@ -331,8 +331,11 @@ class QuantLinear:
         In batch-invariant mode every activation column's result is
         bit-identical whether it arrives alone (a decode step's GEMV)
         or batched with others (the prefill GEMM) -- the contract the
-        KV-cache bit-identity tests pin.  Engines that are invariant by
-        construction (``engine.batch_invariant``) run unchanged; the
+        KV-cache bit-identity tests pin.  Every call plans at batch 1
+        (``engine_for(1)``), so an ``auto`` spec cannot route a prefill
+        onto a different engine than the decode-step GEMV; on that
+        engine, invariant-by-construction backends
+        (``engine.batch_invariant``) run batched natively while the
         rest fall back to one engine call per column for multi-column
         inputs, trading batched throughput for invariance.  Single
         columns always take the engine's native path.
@@ -524,7 +527,13 @@ class QuantLinear:
             # Zero tokens: nothing to plan or multiply.
             out = np.zeros((m, 0), dtype=arr.dtype).T.reshape(lead + (m,))
             return _add_bias(out, self.bias)
-        engine = self.engine_for(tokens)
+        # Batch-invariant mode plans at batch 1 regardless of the
+        # observed batch: an auto spec replanned at the prefill batch
+        # could pick a *different* engine than the lone decode-step
+        # GEMV (engine_for(1)), and two engines' columns differ by more
+        # than summation order -- so every call, batched or not, runs
+        # on the engine a single column would use.
+        engine = self.engine_for(1 if self._batch_invariant else tokens)
         if _obs.ACTIVE:
             # Observability on: wrap the product in a span and/or a
             # drift measurement.  Off (the default), this is one
@@ -623,7 +632,7 @@ class QuantLinear:
         """
         from repro.obs import trace as _trace
 
-        backend = self.planned_backend(tokens)
+        backend = self.planned_backend(1 if self._batch_invariant else tokens)
         n = self._shape[1]
         profiler = None
         if _obs.TRACING and getattr(engine, "accepts_profiler", False):

@@ -83,8 +83,14 @@ class GenerationStream:
         self.retired = False  # decode worker skips retired sequences
         self._inflight = None
         self._last_token_time: float | None = None
-        self.caches = scheduler._init_caches(prompt.shape[1] + max_new_tokens)
+        self.caches = []
         try:
+            # Inside the try: a failed cache reservation must still
+            # release this stream's admission slot (the except path),
+            # or the scheduler would leak _active forever.
+            self.caches = scheduler._init_caches(
+                prompt.shape[1] + max_new_tokens
+            )
             started = time.monotonic()
             logits = scheduler._prefill(prompt, self.caches)
             scheduler.telemetry.record_prefill(time.monotonic() - started)
@@ -157,12 +163,16 @@ class GenerationStream:
         request, self._inflight = self._inflight, None
         if request is not None:
             request.cancel()
-            # Wait for the drop (or the step) to land before releasing
-            # the KV blocks the worker might still be reading.  Bounded:
-            # the purge completes cancelled requests within one worker
-            # wake-up.
+            # Wait -- without a timeout -- for the drop (or the step)
+            # to land before releasing the KV blocks: the worker may
+            # still be reading/writing them, and a tick can legitimately
+            # outlast any fixed bound (cold engine compile, large
+            # coalesced batch).  The wait always ends: a still-queued
+            # cancelled request is errored by the next purge (one
+            # worker wake-up), a picked one is resolved when its tick
+            # completes or fails, and close() fails everything queued.
             try:
-                request.result(timeout=2.0)
+                request.result()
             except BaseException:
                 pass
         for cache in self.caches:

@@ -117,6 +117,18 @@ class TestModelHelpers:
         # 2 layers x (4 attention + 2 ffn) + lm_head
         assert mark_batch_invariant(model) == 13
 
+    def test_out_of_range_ids_rejected(self):
+        """Negative ids would silently wrap through numpy indexing and
+        too-large ids would IndexError deep in the forward (HTTP 500);
+        both must fail fast as ValueError (HTTP 400)."""
+        model = DecoderLM(CONFIG, VOCAB, seed=0)
+        with pytest.raises(ValueError, match=f"\\[0, {VOCAB}\\)"):
+            model(np.array([[0, -1]]))
+        with pytest.raises(ValueError, match=f"\\[0, {VOCAB}\\)"):
+            model(np.array([[VOCAB, 0]]))
+        with pytest.raises(ValueError, match=f"\\[0, {VOCAB}\\)"):
+            model.prefill(np.array([[VOCAB]]), model.init_cache())
+
     def test_layer_paths_enumerate_like_encoder(self):
         from repro.api.model import named_quant_layers
 

@@ -82,3 +82,67 @@ class TestMultiHeadAttention:
         mha = make_mha(rng)
         with pytest.raises(ValueError, match="batch, seq"):
             mha(rng.standard_normal((5, 16)))
+
+
+class TestFoldHelpers:
+    """attn_scores / attn_context: memory-bounded chunked left folds.
+
+    The fold budget only bounds the temporary the contraction
+    materializes at once; it must never change bits, or a prefill
+    (large product, chunked) would disagree with the decode step
+    (small product, single chunk) it is supposed to be bit-identical
+    to.
+    """
+
+    def _reference(self, q, k):
+        # Single-chunk spelling: one outer product, one running cumsum.
+        prod = q[..., :, :, None, :] * k[..., None, :, :]
+        return np.cumsum(prod, axis=-1, out=prod)[..., -1]
+
+    @pytest.mark.parametrize("budget", [1, 7, 1000])
+    def test_scores_bits_independent_of_chunking(
+        self, rng, budget, monkeypatch
+    ):
+        import repro.nn.attention as attention
+
+        q = rng.standard_normal((2, 4, 9, 16))
+        k = rng.standard_normal((2, 4, 13, 16))
+        reference = self._reference(q, k)
+        monkeypatch.setattr(attention, "FOLD_BUDGET_ELEMS", budget)
+        assert np.array_equal(attention.attn_scores(q, k), reference)
+        out = np.empty_like(reference)
+        attention.attn_scores(q, k, out=out)
+        assert np.array_equal(out, reference)
+
+    @pytest.mark.parametrize("budget", [1, 7, 1000])
+    def test_context_bits_independent_of_chunking(
+        self, rng, budget, monkeypatch
+    ):
+        import repro.nn.attention as attention
+
+        attn = rng.random((2, 4, 9, 13))
+        v = rng.standard_normal((2, 4, 13, 16))
+        prod = attn[..., :, :, None] * v[..., None, :, :]
+        reference = np.cumsum(prod, axis=-2, out=prod)[..., -1, :]
+        monkeypatch.setattr(attention, "FOLD_BUDGET_ELEMS", budget)
+        assert np.array_equal(attention.attn_context(attn, v), reference)
+        out = np.empty_like(reference)
+        attention.attn_context(attn, v, out=out)
+        assert np.array_equal(out, reference)
+
+    def test_fold_temporary_stays_bounded(self, rng):
+        """A prefill-sized product must chunk, not materialize the full
+        (seq_q, seq_kv, head_dim) outer product (~8.6 GiB at this shape
+        in one piece would OOM serving)."""
+        import tracemalloc
+
+        from repro.nn.attention import FOLD_BUDGET_ELEMS, attn_scores
+
+        q = rng.standard_normal((1, 8, 512, 64))
+        k = rng.standard_normal((1, 8, 512, 64))
+        tracemalloc.start()
+        attn_scores(q, k)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Budget-sized chunk + the result + carries, with headroom.
+        assert peak < 4 * FOLD_BUDGET_ELEMS * 8

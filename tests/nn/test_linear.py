@@ -281,6 +281,25 @@ class TestAutoBackend:
         )
         assert layer._request.weight is not None
 
+    def test_batch_invariant_auto_plans_at_batch_one(self, rng):
+        """An auto spec in batch-invariant mode must run every batch on
+        the engine a lone GEMV would use: replanning at the observed
+        batch could route a prefill onto a different engine (dense at
+        512 columns) whose bits differ from the decode step's."""
+        layer = QuantLinear(
+            rng.standard_normal((64, 64)),
+            spec=QuantSpec(bits=3, backend="auto", machine="pc"),
+        )
+        assert layer.planned_backend(batch=512) == "dense"
+        layer.set_batch_invariant(True)
+        x = rng.standard_normal((512, 64))
+        batched = layer(x)
+        # Only the batch-1 engine ever compiled -- the batched call did
+        # not consult the planner at the observed batch.
+        assert layer.compiled_backends == ("biqgemm",)
+        for i in (0, 1, 200, 511):
+            assert np.array_equal(batched[i], layer(x[i : i + 1])[0]), i
+
 
 class TestMakeLinear:
     def test_none_spec_gives_dense(self, rng):

@@ -130,6 +130,36 @@ class TestErrorMapping:
             _post(base, "/predict", {"model": "mlp", "input": [0.0] * 5})
         assert err.value.code == 400
 
+    def test_generate_out_of_range_prompt_400(self):
+        """Negative / too-large token ids are client errors, not 500s
+        (negative ids would otherwise wrap silently into the wrong
+        embedding row)."""
+        from repro.gen.model import DecoderLM
+        from repro.nn.transformer import TransformerConfig
+
+        model = DecoderLM(
+            TransformerConfig(dim=16, heads=2, ff_dim=32, layers=1), 20
+        )
+        compiled = quantize(
+            model, QuantConfig(bits=2, mu=4, backend="biqgemm")
+        ).compile(batch_hint=1)
+        server = Server(config=ServeConfig(workers=1))
+        server.add_model("lm", compiled)
+        httpd = server.serve_http(port=0)
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            for prompt in ([1, -3], [1, 20]):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _post(
+                        base,
+                        "/generate",
+                        {"model": "lm", "prompt": prompt,
+                         "max_new_tokens": 2},
+                    )
+                assert err.value.code == 400, prompt
+        finally:
+            server.stop()
+
     def test_unknown_path_404(self, http_server):
         _, base, _ = http_server
         with pytest.raises(urllib.error.HTTPError) as err:

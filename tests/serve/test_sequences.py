@@ -142,6 +142,37 @@ class TestLifecycle:
                 stream.close()
         assert scheduler.active() == 0
 
+    def test_failed_cache_init_releases_admission_slot(
+        self, scheduler, monkeypatch
+    ):
+        """A cache reservation that raises must not leak the _active
+        slot, or the scheduler eventually rejects all new streams."""
+
+        def boom(reserve):
+            raise MemoryError("arena exhausted")
+
+        monkeypatch.setattr(scheduler, "_init_caches", boom)
+        for _ in range(scheduler.max_sequences + 1):
+            with pytest.raises(MemoryError):
+                scheduler.generate(PROMPTS[0], 4)
+        assert scheduler.active() == 0
+        monkeypatch.undo()
+        stream = scheduler.generate(PROMPTS[1], 3)
+        assert len(list(stream)) == 3
+        assert scheduler.active() == 0
+
+    def test_failed_prefill_releases_admission_slot(
+        self, scheduler
+    ):
+        """Out-of-range prompt ids fail inside prefill (after cache
+        init); the slot and the KV blocks must still come back."""
+        for _ in range(scheduler.max_sequences + 1):
+            with pytest.raises(ValueError, match=r"\[0, 50\)"):
+                scheduler.generate(np.array([1, -7]), 4)
+        assert scheduler.active() == 0
+        stream = scheduler.generate(PROMPTS[1], 3)
+        assert len(list(stream)) == 3
+
     def test_stopped_scheduler_refuses(self, compiled):
         sched = SequenceScheduler(compiled, max_sequences=2)
         sched.start()
