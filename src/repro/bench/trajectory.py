@@ -53,6 +53,10 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
         "identical_b2",
     ),
     "decode": ("speedup_cached_len256", "identical_len256"),
+    # The always-on tier's cost, as a host-portable ratio of two p50s
+    # measured back-to-back (profiled / off).  Baseline ~1.0; compare
+    # fails when the profiler starts taxing the hot path.
+    "obs_overhead": ("profiler_cost_ratio",),
 }
 
 
@@ -155,10 +159,30 @@ def _decode_metrics(quick: bool) -> dict[str, float]:
     return metrics
 
 
+def _obs_overhead_metrics(quick: bool) -> dict[str, float]:
+    from repro.bench.registry import obs_overhead_rows, profiler_cost
+
+    metrics: dict[str, float] = {}
+    for row in obs_overhead_rows(quick):
+        b = row["batch"]
+        metrics[f"off_p50_b{b}_ms"] = row["off_p50_ms"]
+        metrics[f"traced_p50_b{b}_ms"] = row["on_p50_ms"]
+        metrics[f"profiled_p50_b{b}_ms"] = row["profiled_p50_ms"]
+    # The gated ratio comes from a dedicated min-of-N best-of-attempts
+    # measurement, not the p50 rows above: p50 over short quick runs
+    # jitters far beyond the ~1% signal being gated.
+    cost = profiler_cost(quick)
+    metrics["profiler_cost_ratio"] = cost["ratio"]
+    metrics["profiler_off_min_ms"] = cost["off_min_ms"]
+    metrics["profiler_on_min_ms"] = cost["profiled_min_ms"]
+    return metrics
+
+
 _COLLECTORS: dict[str, Callable[[bool], dict[str, float]]] = {
     "steady_state": _steady_state_metrics,
     "compiled_kernels": _compiled_kernels_metrics,
     "decode": _decode_metrics,
+    "obs_overhead": _obs_overhead_metrics,
 }
 
 

@@ -625,10 +625,13 @@ class QuantLinear:
 
         Opens an ``engine.matmul`` span (tracing), routes the shared
         kernel profiler into engines that accept one so the span tree
-        bottoms out in ``kernel.build/query/replace`` phases, and
-        records measured wall time against the planner's predicted cost
-        (drift telemetry).  Kept out of :meth:`__call__` so the
-        disabled path never sees any of it.
+        bottoms out in ``kernel.build/query/replace`` phases, records
+        measured wall time against the planner's predicted cost (drift
+        telemetry), and feeds the per-layer latency series in the
+        metrics registry -- with the span's trace id as the bucket
+        exemplar, so a slow bucket on /metrics links to a trace.  Kept
+        out of :meth:`__call__` so the disabled path never sees any of
+        it.
         """
         from repro.obs import trace as _trace
 
@@ -640,20 +643,37 @@ class QuantLinear:
         start = time.perf_counter()
         with _trace.span(
             "engine.matmul", backend=backend, m=m, n=n, batch=tokens
-        ):
+        ) as matmul_span:
             result = self._apply(
                 engine, cols, lead, m, tokens, profiler=profiler
             )
+        elapsed = time.perf_counter() - start
+        ctx = (
+            getattr(matmul_span, "context", None) if _obs.TRACING else None
+        )
+        self._matmul_series(backend, m, n).record(
+            elapsed, trace_id=ctx.trace_id if ctx is not None else None
+        )
         if _obs.DRIFT:
             from repro.obs.drift import record_measurement
 
+            seconds, rec_tokens = elapsed, tokens
+            if self._batch_invariant and tokens > 1:
+                # A decode tick coalesces N sequences into one call,
+                # but the planner priced -- and compile() recorded a
+                # prediction for -- the per-sequence batch-1 GEMV.
+                # Record the per-column cost on the batch-1 bucket so
+                # decode-path shapes pair with their predictions in the
+                # planner-regret report instead of landing on bucket
+                # keys that have no prediction at all.
+                seconds, rec_tokens = elapsed / tokens, 1
             record_measurement(
                 backend,
                 m,
                 n,
                 self.spec.bits,
-                tokens,
-                time.perf_counter() - start,
+                rec_tokens,
+                seconds,
                 mu=self.spec.mu,
                 a_bits=self.spec.a_bits,
                 machine=self.spec.machine
@@ -661,6 +681,30 @@ class QuantLinear:
                 else getattr(self.spec.machine, "name", "pc"),
             )
         return result
+
+    def _matmul_series(self, backend: str, m: int, n: int):
+        """This layer's exemplar-enabled latency histogram for
+        *backend* in the unified registry (cached: one registry lookup
+        per (layer, backend), not per call)."""
+        cache = getattr(self, "_obs_series", None)
+        if cache is None:
+            cache = self._obs_series = {}
+        hist = cache.get(backend)
+        if hist is None:
+            from repro.obs.metrics import (
+                DEFAULT_LATENCY_BOUNDS,
+                get_registry,
+            )
+
+            hist = cache[backend] = get_registry().histogram(
+                "repro_engine_matmul_seconds",
+                "per-layer engine matmul wall time",
+                exemplar_bounds=DEFAULT_LATENCY_BOUNDS,
+                backend=backend,
+                m=m,
+                n=n,
+            )
+        return hist
 
 
 def make_linear(

@@ -17,19 +17,32 @@ Three coordinated pieces, all disabled by default and free when off:
   (engine, shape-bucket); ``python -m repro.obs report`` ranks the
   shapes where the planner's ranking disagrees with reality.
 
+v2 closes the loop with two more pieces:
+
+- :mod:`repro.obs.slo` -- declarative :class:`~repro.obs.slo.SLOSpec`
+  objectives evaluated by multi-window burn rate with an
+  ``ok -> warn -> page`` state machine; the serving layer subscribes
+  for graceful degradation (shed load before missing the SLO harder).
+- :mod:`repro.obs.profile` -- a wall-clock sampling profiler (folded
+  stacks for speedscope/flamegraph) that attributes samples to active
+  spans, so uninstrumented time shows up next to engine time.
+
 Typical use::
 
     import repro.obs as obs
 
-    obs.enable()                    # tracing + drift
+    obs.enable(profile=True)        # tracing + drift + profiler
     ... serve traffic ...
     obs.get_tracer().save("trace.json")       # open in chrome://tracing
     print(obs.get_registry().to_prometheus())
     obs.get_recorder().save("drift.json")     # python -m repro.obs report
+    print(obs.get_profiler().folded())        # paste into speedscope
 
-Setting ``REPRO_OBS=1`` (or ``trace``, ``drift``, ``trace,drift``) in
-the environment enables the corresponding pieces at import time --
-handy for instrumenting an existing entry point without code changes.
+Setting ``REPRO_OBS=1`` (or a comma list of ``trace``, ``drift``,
+``profile``) in the environment enables the corresponding pieces at
+import time -- handy for instrumenting an existing entry point without
+code changes.  SLOs need specs, so they are wired explicitly (see
+``ServeConfig.slos``), never from the environment.
 """
 
 from __future__ import annotations
@@ -60,7 +73,10 @@ from repro.obs.trace import (
     new_trace_id,
     span,
 )
+from repro.obs.profile import SamplingProfiler, get_profiler
+from repro.obs.slo import SLOEngine, SLOSpec
 from repro.obs import drift as _drift
+from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 
 __all__ = [
@@ -69,12 +85,16 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SLOEngine",
+    "SLOSpec",
+    "SamplingProfiler",
     "Span",
     "SpanContext",
     "Tracer",
     "current_context",
     "disable",
     "enable",
+    "get_profiler",
     "get_recorder",
     "get_registry",
     "get_tracer",
@@ -90,25 +110,41 @@ def enable(
     tracing: bool = True,
     drift: bool = True,
     *,
+    profile: bool = False,
+    profile_hz: float | None = None,
     max_spans: int | None = None,
     clear: bool = False,
 ) -> None:
-    """Turn observability on: ``tracing`` / ``drift`` select the pieces.
+    """Turn observability on: ``tracing`` / ``drift`` / ``profile``
+    select the pieces.
 
     ``max_spans`` resizes the tracer's ring buffer; ``clear=True``
     empties retained spans (and, with ``drift``, recorded drift
-    entries) first.
+    entries; with ``profile``, folded stacks) first.  ``profile_hz``
+    sets the sampler rate (default 97 Hz).  SLOs carry specs, so they
+    are enabled where the specs live (``repro.obs.slo.set_engine`` --
+    the server does this from ``ServeConfig.slos``), not here.
     """
     if tracing:
         _trace.enable(max_spans=max_spans, clear=clear)
     if drift:
         _drift.enable(reset=clear)
+    if profile:
+        _profile.start(
+            profile_hz if profile_hz is not None else _profile.DEFAULT_HZ,
+            clear=clear,
+        )
 
 
 def disable() -> None:
-    """Turn all observability off (recorded data stays exportable)."""
+    """Turn all observability off (recorded data stays exportable).
+
+    The SLO engine is owned by whoever installed it (the server clears
+    it on stop), so it is deliberately not touched here.
+    """
     _trace.disable()
     _drift.disable()
+    _profile.stop()
 
 
 def _from_env() -> None:
@@ -116,11 +152,12 @@ def _from_env() -> None:
     if not value or value in ("0", "off", "false"):
         return
     if value in ("1", "on", "true", "all"):
-        enable()
+        enable(profile=value == "all")
         return
     pieces = {piece.strip() for piece in value.split(",")}
     enable(tracing="trace" in pieces or "tracing" in pieces,
-           drift="drift" in pieces)
+           drift="drift" in pieces,
+           profile="profile" in pieces or "profiling" in pieces)
 
 
 _from_env()

@@ -1,10 +1,16 @@
-"""CLI: ``python -m repro.obs report [drift.json]``.
+"""CLI: ``python -m repro.obs <report|profile> ...``.
 
-Renders cost-model drift telemetry -- predicted vs. measured engine
-cost per shape, ranked by planner regret.  With a saved ``drift.json``
-(from :meth:`repro.obs.DriftRecorder.save`, or ``repro.serve
---drift-file``) it reports that run; bare, it runs a small live sweep
-so the command always has something to show.
+``report [drift.json] [--json]`` renders cost-model drift telemetry --
+predicted vs. measured engine cost per shape, ranked by planner
+regret.  With a saved ``drift.json`` (from
+:meth:`repro.obs.DriftRecorder.save`, or ``repro.serve --drift-file``)
+it reports that run; bare, it runs a small live sweep so the command
+always has something to show.
+
+``profile [--hz N] [--seconds S] [--output PATH]`` runs the sampling
+profiler over a live engine sweep and emits flamegraph folded-stack
+text (paste into https://speedscope.app or pipe to flamegraph.pl).  A
+serving process exposes the same text at ``GET /profile``.
 """
 
 from __future__ import annotations
@@ -42,7 +48,27 @@ def main(argv: list[str] | None = None) -> int:
         "--no-backfill", action="store_true",
         help="do not backfill missing predictions from the live model",
     )
+    profile = sub.add_parser(
+        "profile",
+        help="sample a live engine sweep and print flamegraph "
+        "folded stacks",
+    )
+    profile.add_argument(
+        "--hz", type=float, default=None,
+        help="sampling rate (default 97)",
+    )
+    profile.add_argument(
+        "--seconds", type=float, default=2.0,
+        help="how long to run the sweep under the profiler",
+    )
+    profile.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write folded stacks here instead of stdout",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "profile":
+        return _profile_command(args)
 
     from repro.obs import drift
     from repro.obs.report import build_report, demo_sweep, format_report
@@ -66,6 +92,43 @@ def main(argv: list[str] | None = None) -> int:
         print()
     else:
         print(format_report(result, top=args.top))
+    return 0
+
+
+def _profile_command(args) -> int:
+    import time
+
+    from repro.obs import profile as profile_mod
+    from repro.obs.report import demo_sweep
+
+    hz = args.hz if args.hz is not None else profile_mod.DEFAULT_HZ
+    profiler = profile_mod.start(hz, clear=True)
+    print(
+        f"profiling a live engine sweep at {hz:g} Hz for "
+        f"{args.seconds:g}s ...",
+        file=sys.stderr,
+    )
+    deadline = time.perf_counter() + args.seconds
+    while time.perf_counter() < deadline:
+        demo_sweep()
+    profiler.stop()
+    folded = profiler.folded()
+    stats = profiler.stats()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(folded + "\n")
+        print(
+            f"wrote {args.output} ({stats['samples']} samples, "
+            f"{stats['unique_stacks']} unique stacks)",
+            file=sys.stderr,
+        )
+    else:
+        print(folded)
+        print(
+            f"# {stats['samples']} samples at {hz:g} Hz, "
+            f"{stats['unique_stacks']} unique stacks",
+            file=sys.stderr,
+        )
     return 0
 
 

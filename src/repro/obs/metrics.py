@@ -33,11 +33,13 @@ from __future__ import annotations
 import math
 import re
 import threading
+from bisect import bisect_left
 from collections import deque
 from typing import Callable
 
 __all__ = [
     "Counter",
+    "DEFAULT_LATENCY_BOUNDS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -48,6 +50,14 @@ _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
 
 _QUANTILES = (0.50, 0.95, 0.99)
+
+#: Default exemplar bucket bounds (seconds) for latency histograms --
+#: roughly log-spaced from half a millisecond to ten seconds, plus the
+#: implicit ``+Inf`` bucket.
+DEFAULT_LATENCY_BOUNDS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 class Counter:
@@ -116,20 +126,91 @@ class Histogram:
     over that window plus lifetime count/sum.  Callers hold their own
     lock around :meth:`record` -- the class itself synchronizes only
     enough for a concurrent snapshot reader to see a consistent window.
+
+    **Exemplars.**  With *exemplar_bounds* set (ascending upper bounds;
+    an implicit ``+Inf`` bucket closes the list), the histogram also
+    keeps lifetime per-bucket counts and a small per-bucket reservoir
+    of ``(value, trace_id)`` pairs handed to :meth:`record` -- so a p99
+    latency bucket links straight to the trace that produced it.  The
+    Prometheus exposition then renders the classic ``_bucket`` series
+    with OpenMetrics exemplar suffixes instead of a summary.
     """
 
-    def __init__(self, window: int = 2048):
+    def __init__(
+        self,
+        window: int = 2048,
+        *,
+        exemplar_bounds: tuple[float, ...] | None = None,
+        exemplar_reservoir: int = 2,
+    ):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self._values: deque[float] = deque(maxlen=window)
         self.count = 0
         self.total = 0.0
+        self.exemplar_bounds: tuple[float, ...] | None = None
+        if exemplar_bounds is not None:
+            bounds = tuple(float(b) for b in exemplar_bounds)
+            if not bounds or any(
+                b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+            ):
+                raise ValueError(
+                    "exemplar_bounds must be non-empty and ascending, "
+                    f"got {exemplar_bounds!r}"
+                )
+            if exemplar_reservoir <= 0:
+                raise ValueError(
+                    "exemplar_reservoir must be positive, got "
+                    f"{exemplar_reservoir}"
+                )
+            self.exemplar_bounds = bounds
+            self._bucket_counts = [0] * (len(bounds) + 1)
+            self._exemplar_cells: list[deque] = [
+                deque(maxlen=exemplar_reservoir)
+                for _ in range(len(bounds) + 1)
+            ]
 
-    def record(self, value: float) -> None:
+    def record(self, value: float, trace_id: str | None = None) -> None:
         value = float(value)
         self._values.append(value)
         self.count += 1
         self.total += value
+        bounds = self.exemplar_bounds
+        if bounds is not None:
+            idx = bisect_left(bounds, value)
+            self._bucket_counts[idx] += 1
+            if trace_id is not None:
+                self._exemplar_cells[idx].append((value, trace_id))
+
+    def bucket_counts(self) -> list[tuple[str, int]]:
+        """Cumulative lifetime counts per exemplar bucket as
+        ``[(le, count), ...]`` ending at ``("+Inf", lifetime count)``.
+        Empty when exemplar buckets are not configured."""
+        bounds = self.exemplar_bounds
+        if bounds is None:
+            return []
+        out: list[tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(bounds, self._bucket_counts):
+            running += n
+            out.append((f"{bound:g}", running))
+        out.append(("+Inf", running + self._bucket_counts[-1]))
+        return out
+
+    def exemplars(self) -> list[dict]:
+        """Latest retained exemplar per bucket:
+        ``[{"le", "value", "trace_id"}, ...]`` (empty without exemplar
+        buckets or before any traced observation)."""
+        bounds = self.exemplar_bounds
+        if bounds is None:
+            return []
+        out = []
+        les = [f"{b:g}" for b in bounds] + ["+Inf"]
+        for le, cell in zip(les, self._exemplar_cells):
+            if cell:
+                value, trace_id = cell[-1]
+                out.append({"le": le, "value": value, "trace_id": trace_id})
+        return out
 
     @property
     def mean(self) -> float:
@@ -213,7 +294,9 @@ class MetricsRegistry:
         self._collect_lock = threading.Lock()
 
     # -- registration --------------------------------------------------
-    def _get(self, cls, name: str, help: str, labels: dict) -> _Instrument:
+    def _get(
+        self, cls, name: str, help: str, labels: dict, factory=None
+    ) -> _Instrument:
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
         labelset = _check_labels(labels)
@@ -232,7 +315,7 @@ class MetricsRegistry:
                 family["help"] = help
             instrument = family["series"].get(labelset)
             if instrument is None:
-                instrument = cls()
+                instrument = (factory or cls)()
                 family["series"][labelset] = instrument
             return instrument
 
@@ -243,11 +326,20 @@ class MetricsRegistry:
         return self._get(Gauge, name, help, labels)
 
     def histogram(
-        self, name: str, help: str = "", *, window: int = 2048, **labels
+        self,
+        name: str,
+        help: str = "",
+        *,
+        window: int = 2048,
+        exemplar_bounds: tuple[float, ...] | None = None,
+        **labels,
     ) -> Histogram:
-        hist = self._get(Histogram, name, help, labels)
-        del window  # sizing applies only on first creation via register
-        return hist
+        # Sizing and exemplar buckets apply on first creation only;
+        # later get-or-create calls return the existing series as-is.
+        factory = lambda: Histogram(  # noqa: E731
+            window, exemplar_bounds=exemplar_bounds
+        )
+        return self._get(Histogram, name, help, labels, factory)
 
     def register_histogram(
         self, name: str, hist: Histogram, help: str = "", **labels
@@ -360,6 +452,9 @@ class MetricsRegistry:
                 entry: dict = {"labels": dict(labelset)}
                 if cls is Histogram:
                     entry.update(instrument.snapshot())
+                    exemplars = instrument.exemplars()
+                    if exemplars:
+                        entry["exemplars"] = exemplars
                 else:
                     entry["value"] = instrument.value
                 rendered.append(entry)
@@ -373,33 +468,60 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """Text exposition format (0.0.4).  Runs the collectors first.
 
-        Histograms render as Prometheus *summaries*: ``{quantile="x"}``
-        series over the retained window plus lifetime ``_sum`` /
-        ``_count``.
+        Histograms without exemplar buckets render as Prometheus
+        *summaries*: ``{quantile="x"}`` series over the retained window
+        plus lifetime ``_sum`` / ``_count``.  Exemplar-enabled
+        histograms render as classic *histograms* -- cumulative
+        ``_bucket{le="..."}`` series carrying OpenMetrics exemplar
+        suffixes (``... count # {trace_id="..."} value``) where a traced
+        observation landed in the bucket -- so a scrape links latency
+        buckets to trace ids.
         """
         self.collect()
         lines: list[str] = []
         for name, cls, help_text, series in self._snapshot():
-            kind = "summary" if cls is Histogram else _TYPE_NAMES[cls]
+            exemplar_style = cls is Histogram and any(
+                instrument.exemplar_bounds is not None
+                for _, instrument in series
+            )
+            if cls is Histogram:
+                kind = "histogram" if exemplar_style else "summary"
+            else:
+                kind = _TYPE_NAMES[cls]
             if help_text:
                 lines.append(f"# HELP {name} {_escape(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
             for labelset, instrument in series:
-                if cls is Histogram:
+                if cls is not Histogram:
+                    labels = _render_labels(labelset)
+                    lines.append(f"{name}{labels} {instrument.value:g}")
+                    continue
+                if exemplar_style:
+                    exemplars = {
+                        e["le"]: e for e in instrument.exemplars()
+                    }
+                    for le, cum in instrument.bucket_counts():
+                        labels = _render_labels(labelset, (("le", le),))
+                        line = f"{name}_bucket{labels} {cum:g}"
+                        mark = exemplars.get(le)
+                        if mark is not None:
+                            line += (
+                                f' # {{trace_id="{_escape(mark["trace_id"])}"'
+                                f'}} {mark["value"]:g}'
+                            )
+                        lines.append(line)
+                else:
                     for q in _QUANTILES:
                         value = instrument.quantile(q)
                         labels = _render_labels(
                             labelset, (("quantile", f"{q:g}"),)
                         )
                         lines.append(f"{name}{labels} {value:g}")
-                    labels = _render_labels(labelset)
-                    lines.append(f"{name}_sum{labels} {instrument.total:g}")
-                    lines.append(
-                        f"{name}_count{labels} {instrument.count:g}"
-                    )
-                else:
-                    labels = _render_labels(labelset)
-                    lines.append(f"{name}{labels} {instrument.value:g}")
+                labels = _render_labels(labelset)
+                lines.append(f"{name}_sum{labels} {instrument.total:g}")
+                lines.append(
+                    f"{name}_count{labels} {instrument.count:g}"
+                )
         return "\n".join(lines) + "\n"
 
 

@@ -14,7 +14,17 @@ without import cycles.
 
 from __future__ import annotations
 
-__all__ = ["ACTIVE", "TRACING", "DRIFT", "set_tracing", "set_drift"]
+__all__ = [
+    "ACTIVE",
+    "DRIFT",
+    "PROFILING",
+    "SLO",
+    "TRACING",
+    "set_drift",
+    "set_profiling",
+    "set_slo",
+    "set_tracing",
+]
 
 #: Structured tracing on/off (spans recorded when True).
 TRACING = False
@@ -23,8 +33,20 @@ TRACING = False
 #: True).
 DRIFT = False
 
-#: Either of the above: the single check hot call sites make before
-#: touching any observability machinery.
+#: SLO engine on/off (request outcomes fed to burn-rate windows when
+#: True; serving layers also consult degradation state).
+SLO = False
+
+#: Sampling profiler on/off (a sampler thread is walking
+#: ``sys._current_frames()`` when True).  Hot paths never check this --
+#: the profiler observes them from outside -- but exposition endpoints
+#: and CLIs do.
+PROFILING = False
+
+#: Tracing or drift: the single check hot call sites make before
+#: touching any per-matmul observability machinery.  (SLO and the
+#: profiler have their own flags: SLO guards a per-*request* feed, and
+#: profiling costs the hot path nothing.)
 ACTIVE = False
 
 
@@ -45,3 +67,16 @@ def set_drift(on: bool) -> None:
     global DRIFT
     DRIFT = bool(on)
     _refresh()
+
+
+def set_slo(on: bool) -> None:
+    """Flip the SLO flag (called by :func:`repro.obs.slo.enable`)."""
+    global SLO
+    SLO = bool(on)
+
+
+def set_profiling(on: bool) -> None:
+    """Flip the profiling flag (called by
+    :class:`repro.obs.profile.SamplingProfiler`)."""
+    global PROFILING
+    PROFILING = bool(on)

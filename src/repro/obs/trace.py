@@ -49,6 +49,7 @@ __all__ = [
     "SpanContext",
     "Tracer",
     "activate",
+    "active_spans",
     "current_context",
     "disable",
     "enable",
@@ -199,12 +200,28 @@ NOOP_SPAN = _NoopSpan()
 
 _TLS = threading.local()
 
+#: Thread ident -> innermost active span.  The thread-local stack is
+#: invisible from other threads, but the sampling profiler
+#: (:mod:`repro.obs.profile`) needs to ask "what span is thread X in
+#: right now" from its own sampler thread -- this mirror answers that.
+#: Single dict assignments/deletes are GIL-atomic, so the hot path adds
+#: no lock; entries are keyed by ident, which the interpreter reuses,
+#: keeping the dict bounded by live thread count.
+_ACTIVE_SPANS: dict[int, Span] = {}
+
 
 def _stack() -> list:
     stack = getattr(_TLS, "stack", None)
     if stack is None:
         stack = _TLS.stack = []
     return stack
+
+
+def active_spans() -> dict[int, "Span"]:
+    """Snapshot of ``{thread ident: innermost active span}`` across all
+    threads (the profiler's attribution source).  Cheap shallow copy;
+    spans may end concurrently, so treat the values as read-only."""
+    return dict(_ACTIVE_SPANS)
 
 
 def current_context() -> SpanContext | None:
@@ -229,12 +246,18 @@ class _SpanGuard:
 
     def __enter__(self) -> Span:
         _stack().append(self.span)
+        _ACTIVE_SPANS[threading.get_ident()] = self.span
         return self.span
 
     def __exit__(self, exc_type, exc, tb) -> None:
         stack = _stack()
         if stack and stack[-1] is self.span:
             stack.pop()
+        ident = threading.get_ident()
+        if stack:
+            _ACTIVE_SPANS[ident] = stack[-1]
+        else:
+            _ACTIVE_SPANS.pop(ident, None)
         if exc is not None:
             self.span.attrs.setdefault("error", type(exc).__name__)
         self.span.end()

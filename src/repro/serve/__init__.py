@@ -21,7 +21,9 @@ into plan-cache-aligned micro-batches:
   deadlines, cancellation and the same backpressure signal;
 - :class:`Server` -- synchronous in-process frontend plus a stdlib
   ``http.server`` JSON API (``/predict``, streaming ``/generate``,
-  ``/models``, ``/healthz``, ``/metrics``);
+  ``/models``, ``/healthz``, ``/metrics``, ``/slo``, ``/profile``),
+  with SLO burn-rate degradation and 429 + ``Retry-After`` load
+  shedding when ``ServeConfig.slos`` is set (:mod:`repro.obs.slo`);
 - :mod:`~repro.serve.telemetry` -- latency quantiles, queue depth,
   batch-size distribution, LUT-amortization ratio, and decode vitals
   (tokens/s, inter-token latency, coalescing ratio).
@@ -46,11 +48,12 @@ from repro.serve.batcher import (
 )
 from repro.serve.pool import WorkerPool
 from repro.serve.sequences import GenerationStream, SequenceScheduler
-from repro.serve.server import ServeConfig, Server
+from repro.serve.server import AdmissionShedError, ServeConfig, Server
 from repro.serve.store import ModelNotFound, ModelStore, StoredModel
 from repro.serve.telemetry import GenTelemetry, Histogram, ModelTelemetry
 
 __all__ = [
+    "AdmissionShedError",
     "Batch",
     "Batcher",
     "BatcherClosed",

@@ -7,7 +7,8 @@
 loads the artifact into a :class:`~repro.serve.ModelStore`, starts the
 dynamic-batching worker pool, and blocks on the JSON/HTTP frontend
 (``POST /predict``, streaming ``POST /generate`` for decoder LMs,
-``GET /models /healthz /metrics``) until interrupted.  Multiple artifacts serve side by side::
+``GET /models /healthz /metrics /slo /profile``) until interrupted.
+Multiple artifacts serve side by side::
 
     python -m repro.serve a.npz b.npz --name model-a --name model-b
 """
@@ -85,7 +86,78 @@ def build_parser() -> argparse.ArgumentParser:
             "on shutdown (read it with 'python -m repro.obs report')"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the always-on sampling profiler (97 Hz); folded "
+            "flamegraph stacks at GET /profile"
+        ),
+    )
+    parser.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "install a latency SLO: --slo-objective of requests must "
+            "finish within MS (enables GET /slo, burn-rate "
+            "degradation and 429+Retry-After load shedding)"
+        ),
+    )
+    parser.add_argument(
+        "--slo-objective",
+        type=float,
+        default=0.95,
+        help="good fraction the latency SLO promises (default 0.95)",
+    )
+    parser.add_argument(
+        "--slo-availability",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="install an availability SLO (e.g. 0.999)",
+    )
+    parser.add_argument(
+        "--slo-tokens-per-s",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="install a decode-throughput SLO floor (tokens/s)",
+    )
     return parser
+
+
+def _slo_specs(args: argparse.Namespace) -> tuple:
+    from repro.obs.slo import SLOSpec
+
+    specs = []
+    if args.slo_latency_ms is not None:
+        specs.append(
+            SLOSpec(
+                name="latency",
+                kind="latency",
+                threshold_s=args.slo_latency_ms / 1e3,
+                objective=args.slo_objective,
+            )
+        )
+    if args.slo_availability is not None:
+        specs.append(
+            SLOSpec(
+                name="availability",
+                kind="availability",
+                objective=args.slo_availability,
+            )
+        )
+    if args.slo_tokens_per_s is not None:
+        specs.append(
+            SLOSpec(
+                name="decode-throughput",
+                kind="tokens_per_s",
+                min_tokens_per_s=args.slo_tokens_per_s,
+            )
+        )
+    return tuple(specs)
 
 
 def _names(args: argparse.Namespace) -> list[str]:
@@ -115,13 +187,15 @@ def main(argv: list[str] | None = None) -> int:
         budget_bytes=(
             int(args.budget_mb * 1e6) if args.budget_mb is not None else None
         ),
+        slos=_slo_specs(args),
     )
-    if args.trace_file or args.drift_file:
+    if args.trace_file or args.drift_file or args.profile:
         import repro.obs as obs
 
         obs.enable(
             tracing=args.trace_file is not None,
             drift=args.drift_file is not None,
+            profile=args.profile,
         )
     server = Server(config=config)
     for name, path in zip(_names(args), args.artifacts):

@@ -353,6 +353,22 @@ class Batcher:
         with self._cond:
             return len(self._queue)
 
+    def set_max_latency(self, max_latency_ms: float) -> None:
+        """Retune the coalescing deadline live.
+
+        SLO degradation raises it: LUT builds amortize across a batch,
+        so under pressure the profitable move is *bigger* coalesced
+        batches, not faster ticks.  A batch already coalescing keeps
+        the deadline it started with; the next one sees the new value.
+        """
+        if max_latency_ms < 0:
+            raise ValueError(
+                f"max_latency_ms must be >= 0, got {max_latency_ms}"
+            )
+        with self._cond:
+            self.max_latency = max_latency_ms / 1e3
+            self._cond.notify_all()
+
     def seal(self, timeout: float = 5.0) -> None:
         """Stop admitting new requests and wait for the queue to drain.
 

@@ -92,9 +92,29 @@ class WorkerPool:
             batch.fail(exc)
             for _ in batch.requests:
                 telemetry.record_result(0.0, ok=False)
+            if _obs.SLO:
+                from repro.obs import slo as _slo
+
+                for _ in batch.requests:
+                    _slo.record_request(self.name, 0.0, ok=False)
             return
         for request in batch.requests:
-            telemetry.record_result(done - request.enqueue_time, ok=True)
+            # The queue span's trace id rides with the request across
+            # threads; attaching it here is what links a latency-bucket
+            # exemplar on /metrics back to the request's trace.
+            trace = request.trace
+            telemetry.record_result(
+                done - request.enqueue_time,
+                ok=True,
+                trace_id=trace.trace_id if trace is not None else None,
+            )
+        if _obs.SLO:
+            from repro.obs import slo as _slo
+
+            for request in batch.requests:
+                _slo.record_request(
+                    self.name, done - request.enqueue_time, ok=True
+                )
 
     def _execute_traced(self, replica: CompiledModel, batch: Batch) -> None:
         """:meth:`_execute_plain` under a span tree.

@@ -83,6 +83,11 @@ class GenerationStream:
         self.retired = False  # decode worker skips retired sequences
         self._inflight = None
         self._last_token_time: float | None = None
+        # Finish is claimed under a lock: the HTTP thread (close on
+        # disconnect) and the iterating thread (natural end) can race,
+        # and a double finish would double-count the stream in
+        # GenTelemetry and double-release the admission slot.
+        self._finish_lock = threading.Lock()
         self.caches = []
         try:
             # Inside the try: a failed cache reservation must still
@@ -156,10 +161,11 @@ class GenerationStream:
             self._finish("cancelled")
 
     def _finish(self, reason: str, *, record: bool = True) -> None:
-        if self.finish_reason is not None:
-            return
-        self.finish_reason = reason
-        self.retired = True
+        with self._finish_lock:
+            if self.finish_reason is not None:
+                return
+            self.finish_reason = reason
+            self.retired = True
         request, self._inflight = self._inflight, None
         if request is not None:
             request.cancel()
@@ -347,6 +353,20 @@ class SequenceScheduler:
         with self._lock:
             return self._active
 
+    def set_max_sequences(self, max_sequences: int) -> None:
+        """Retune the live-stream admission cap without restarting.
+
+        SLO degradation shrinks it on ``warn`` (fewer concurrent
+        streams = shorter decode queues = faster recovery) and restores
+        it on recovery.  Streams already live are never evicted --
+        only *new* admissions see the new cap; the decode tick's batch
+        cap (the batcher's ``max_batch``) keeps its original value, so
+        coalescing economics are untouched.
+        """
+        check_positive_int(max_sequences, "max_sequences")
+        with self._lock:
+            self.max_sequences = max_sequences
+
     # -- stream plumbing ------------------------------------------------
     def _init_caches(self, reserve: int):
         return self._compiled.model.init_cache(
@@ -393,13 +413,19 @@ class SequenceScheduler:
             tokens = [int(request.x) for request in live]
             cache_lists = [request.meta.caches for request in live]
             self.telemetry.record_tick(len(live))
+            tick_trace = None
+            started = time.monotonic()
             try:
                 if _obs.TRACING:
                     from repro.obs.trace import span
 
                     with span(
                         "gen.step", model=self.name, sequences=len(live)
-                    ):
+                    ) as step_span:
+                        # getattr: span() degrades to the no-op span if
+                        # tracing raced off since the TRACING check.
+                        ctx = getattr(step_span, "context", None)
+                        tick_trace = ctx.trace_id if ctx else None
                         logits = self._compiled.decode_step_many(
                             tokens, cache_lists
                         )
@@ -411,5 +437,10 @@ class SequenceScheduler:
                 for request in live:
                     request.set_error(exc)
                 continue
+            # The tick's trace id becomes the exemplar on its latency
+            # bucket: a slow bucket on /metrics points at a tick trace.
+            self.telemetry.record_tick_time(
+                time.monotonic() - started, trace_id=tick_trace
+            )
             for request, row in zip(live, logits):
                 request.set_result(row)

@@ -53,9 +53,24 @@ from repro.serve.sequences import GenerationStream, SequenceScheduler
 from repro.serve.store import ModelNotFound, ModelStore
 from repro.serve.telemetry import ModelTelemetry
 
-__all__ = ["ServeConfig", "Server"]
+__all__ = ["AdmissionShedError", "ServeConfig", "Server"]
 
 _LOG = logging.getLogger("repro.serve")
+
+
+class AdmissionShedError(QueueFullError):
+    """New admissions refused while an SLO is paging.
+
+    A subclass of :class:`~repro.serve.batcher.QueueFullError` so every
+    existing 429 mapping applies; carries ``retry_after_s`` so the HTTP
+    layer can tell clients when to come back (``Retry-After``).
+    Requests already admitted are unaffected -- live decode streams
+    keep draining.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -67,6 +82,17 @@ class ServeConfig:
     served alone, which is the baseline the throughput bench compares
     against.  ``budget_bytes`` bounds the store's resident compiled
     weight bytes (LRU eviction).
+
+    ``slos`` installs a :class:`repro.obs.slo.SLOEngine` over the given
+    :class:`~repro.obs.slo.SLOSpec` objectives while the server runs,
+    and subscribes the server for graceful degradation: on ``warn``
+    decode admissions shrink by ``degrade_sequences_factor`` and every
+    batcher's coalescing deadline is multiplied by
+    ``degrade_deadline_factor`` -- BiQGEMM's LUT builds amortize across
+    a coalesced batch, so under pressure the profitable move is
+    *bigger* batches, not faster ones; on ``page`` new admissions are
+    refused with 429 + ``Retry-After: retry_after_s`` while everything
+    already admitted drains.
     """
 
     workers: int = 2
@@ -79,6 +105,12 @@ class ServeConfig:
     # and how long a decode tick waits to coalesce more sequences.
     max_sequences: int = 16
     decode_latency_ms: float = 2.0
+    # SLO-driven degradation (inert while ``slos`` is empty).
+    slos: tuple = ()
+    degrade_sequences_factor: float = 0.5
+    degrade_deadline_factor: float = 4.0
+    retry_after_s: float = 1.0
+    slo_eval_interval_s: float = 0.25
 
 
 @dataclass
@@ -135,6 +167,12 @@ class Server:
         # scrape sees per-model serving series without the hot path
         # pushing anything.
         self._metrics_collector = None
+        # SLO engine (None unless config.slos is non-empty) and the
+        # degradation mode its transitions drive.  _slo_mode is read
+        # unlocked on the admission path (a stale read costs one
+        # request admitted/refused a beat late, never corruption).
+        self._slo_engine = None
+        self._slo_mode = "ok"
 
     # -- model management ----------------------------------------------
     def add_model(
@@ -207,6 +245,9 @@ class Server:
         with self._lock:
             scheduler = self._schedulers.pop(name, None)
         if scheduler is not None:
+            engine = self._slo_engine
+            if engine is not None:
+                engine.detach_gen_source(name)
             scheduler.stop()
 
     def _prune_model_metrics(self, name: str) -> None:
@@ -280,6 +321,12 @@ class Server:
                 "prompt prefill latency",
                 model=name,
             )
+            registry.register_histogram(
+                "repro_gen_tick_seconds",
+                gen.tick_latency,
+                "batched decode execution latency (one gen.step tick)",
+                model=name,
+            )
             gen_counters = (
                 ("tokens", gen.tokens, "tokens decoded"),
                 ("sequences", gen.sequences, "sequences admitted"),
@@ -350,11 +397,30 @@ class Server:
 
         self._metrics_collector = self._publish_metrics
         get_registry().register_collector(self._metrics_collector)
+        if self.config.slos and self._slo_engine is None:
+            from repro.obs import slo as slo_mod
+
+            engine = slo_mod.SLOEngine(
+                self.config.slos,
+                eval_interval_s=self.config.slo_eval_interval_s,
+            )
+            engine.subscribe(self._on_slo_transition)
+            slo_mod.set_engine(engine)  # flips runtime.SLO on
+            self._slo_engine = engine
+            engine.start()
         return self
 
     def stop(self) -> None:
         """Stop HTTP (if serving), drain and join every worker pool."""
         self.stop_http()
+        engine, self._slo_engine = self._slo_engine, None
+        if engine is not None:
+            from repro.obs import slo as slo_mod
+
+            engine.stop()
+            if slo_mod.get_engine() is engine:
+                slo_mod.clear_engine()  # flips runtime.SLO off
+            self._slo_mode = "ok"
         with self._lock:
             runtimes, self._runtimes = dict(self._runtimes), {}
             schedulers, self._schedulers = dict(self._schedulers), {}
@@ -376,6 +442,78 @@ class Server:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # -- SLO-driven degradation ----------------------------------------
+    def _on_slo_transition(self, spec, old: str, new: str) -> None:
+        """SLOEngine listener (evaluator thread): re-derive the
+        degradation mode from the *worst* current spec state -- one
+        spec recovering must not undo the degradation another spec
+        still demands."""
+        engine = self._slo_engine
+        if engine is None:
+            return
+        mode = engine.worst_state()
+        self._apply_degradation(mode)
+        _LOG.warning(
+            json.dumps(
+                {
+                    "event": "slo_transition",
+                    "slo": spec.name,
+                    "from": old,
+                    "to": new,
+                    "mode": mode,
+                },
+                sort_keys=True,
+            )
+        )
+
+    def _apply_degradation(self, mode: str) -> None:
+        """Degrade (or restore) every runtime to match *mode*.
+
+        ``warn``/``page``: decode admission caps shrink and batcher
+        deadlines stretch -- with the queue backing up anyway, waiting
+        a few more ms buys bigger coalesced batches, and each LUT
+        build amortizes across more requests (the paper's batch
+        economics, used as a pressure-relief valve).  ``ok`` restores
+        the configured values.  Idempotent per mode.
+        """
+        cfg = self.config
+        if mode == "ok":
+            deadline_ms = cfg.max_latency_ms
+            max_seqs = cfg.max_sequences
+        else:
+            deadline_ms = cfg.max_latency_ms * cfg.degrade_deadline_factor
+            max_seqs = max(
+                1, int(cfg.max_sequences * cfg.degrade_sequences_factor)
+            )
+        with self._lock:
+            self._slo_mode = mode
+            runtimes = dict(self._runtimes)
+            schedulers = dict(self._schedulers)
+        for runtime in runtimes.values():
+            runtime.batcher.set_max_latency(deadline_ms)
+        for scheduler in schedulers.values():
+            scheduler.set_max_sequences(max_seqs)
+
+    def _check_admission(self, name: str) -> None:
+        """Shed new work while any SLO matching *name* is paging.
+
+        Only rejects *admissions*: requests already queued and decode
+        streams already live drain normally, which is what lets the
+        burn rate actually recover.
+        """
+        engine = self._slo_engine
+        if engine is not None and engine.state(name) == "page":
+            raise AdmissionShedError(
+                f"model {name!r} is shedding load (SLO page); retry "
+                f"after {self.config.retry_after_s:g}s",
+                retry_after_s=self.config.retry_after_s,
+            )
+
+    @property
+    def slo_mode(self) -> str:
+        """The server-wide degradation mode (worst spec state)."""
+        return self._slo_mode
 
     # -- serving -------------------------------------------------------
     def _runtime(self, name: str) -> _ModelRuntime:
@@ -422,6 +560,8 @@ class Server:
             timeout = self.config.request_timeout_s
         rid = request_id or uuid.uuid4().hex[:16]
         try:
+            if _obs.SLO:
+                self._check_admission(name)
             if _obs.TRACING:
                 from repro.obs.trace import span
 
@@ -476,6 +616,22 @@ class Server:
             candidate.stop()
         if scheduler is None:
             raise BatcherClosed(f"model {name!r} is shutting down")
+        engine = self._slo_engine
+        if scheduler is candidate and engine is not None:
+            # tokens_per_s specs rate this model's decode counters; a
+            # scheduler born into a degraded server starts degraded.
+            engine.attach_gen_source(name, scheduler.telemetry)
+            mode = self._slo_mode
+            if mode != "ok":
+                scheduler.set_max_sequences(
+                    max(
+                        1,
+                        int(
+                            self.config.max_sequences
+                            * self.config.degrade_sequences_factor
+                        ),
+                    )
+                )
         return scheduler
 
     def generate(
@@ -493,8 +649,11 @@ class Server:
         :class:`~repro.serve.sequences.GenerationStream` for token ids;
         concurrent streams on one model coalesce into shared decode
         ticks.  Raises :class:`~repro.serve.batcher.QueueFullError`
-        once ``max_sequences`` streams are live.
+        once ``max_sequences`` streams are live and
+        :class:`AdmissionShedError` while a matching SLO is paging.
         """
+        if _obs.SLO:
+            self._check_admission(name)
         return self._scheduler(name).generate(
             prompt, max_new_tokens, **kwargs
         )
@@ -547,6 +706,9 @@ class Server:
             "obs": {
                 "tracing": _obs.TRACING,
                 "drift": _obs.DRIFT,
+                "slo": _obs.SLO,
+                "profiling": _obs.PROFILING,
+                "slo_mode": self._slo_mode,
             },
         }
 
@@ -633,11 +795,15 @@ def _make_handler(server: Server):
         def log_message(self, *args) -> None:
             del args
 
-        def _reply(self, status: int, payload: dict) -> None:
+        def _reply(
+            self, status: int, payload: dict, headers: dict | None = None
+        ) -> None:
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -650,11 +816,25 @@ def _make_handler(server: Server):
             self.wfile.write(body)
 
         def _error(self, status: int, exc: BaseException, rid: str) -> None:
-            """Error reply carrying the request's trace/request id."""
+            """Error reply carrying the request's trace/request id.
+
+            A shed admission (SLO page) additionally tells the client
+            when to retry: 429 + ``Retry-After`` is the contract load
+            balancers and well-behaved clients back off on.
+            """
             message = (
                 f"{type(exc).__name__}: {exc}" if status == 500 else str(exc)
             )
-            self._reply(status, {"error": message, "request_id": rid})
+            headers = None
+            if isinstance(exc, AdmissionShedError):
+                headers = {
+                    "Retry-After": str(
+                        max(1, int(round(exc.retry_after_s)))
+                    )
+                }
+            self._reply(
+                status, {"error": message, "request_id": rid}, headers
+            )
 
         def do_GET(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
             path, _, query = self.path.partition("?")
@@ -682,6 +862,24 @@ def _make_handler(server: Server):
                 from repro.obs.trace import get_tracer
 
                 self._reply(200, get_tracer().trace_events())
+            elif path == "/slo":
+                from repro.obs import slo as slo_mod
+
+                engine = slo_mod.get_engine()
+                if engine is None:
+                    self._reply(200, {"enabled": False, "specs": []})
+                else:
+                    self._reply(200, engine.snapshot())
+            elif path == "/profile":
+                from repro.obs.profile import get_profiler
+
+                profiler = get_profiler()
+                text = "" if profiler is None else profiler.folded()
+                self._reply_text(
+                    200,
+                    text + "\n" if text else "",
+                    "text/plain; charset=utf-8",
+                )
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -761,12 +959,17 @@ def _make_handler(server: Server):
             except Exception as exc:  # noqa: BLE001 -- HTTP boundary
                 self._error(500, exc, rid)
                 return
-            self.send_response(200)
-            self.send_header("Content-Type", "application/jsonl")
-            self.send_header("X-Request-Id", rid)
-            self.end_headers()
+            # Everything past admission runs inside ``with stream`` --
+            # including the header writes: a client that disconnects
+            # before the first byte lands must still cancel its
+            # sequence, or the stream stays live forever and
+            # GenTelemetry's busy clock never stops.
             try:
                 with stream:
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/jsonl")
+                    self.send_header("X-Request-Id", rid)
+                    self.end_headers()
                     for index, token in enumerate(stream):
                         self._write_event(
                             {"token": int(token), "index": index}

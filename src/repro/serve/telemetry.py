@@ -16,7 +16,7 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS, Histogram
 
 __all__ = ["GenTelemetry", "Histogram", "ModelTelemetry"]
 
@@ -33,7 +33,12 @@ class ModelTelemetry:
 
     def __init__(self, window: int = 2048):
         self._lock = threading.Lock()
-        self.latency = Histogram(window)  # seconds, submit -> result
+        # Exemplar-enabled: each latency bucket keeps the trace ids of
+        # recent requests that landed in it, so a p99 spike on /metrics
+        # links straight to traces of the requests that caused it.
+        self.latency = Histogram(
+            window, exemplar_bounds=DEFAULT_LATENCY_BOUNDS
+        )  # seconds, submit -> result
         self.queue_depth = Histogram(window)  # sampled at admission
         self.batch_sizes: dict[int, int] = {}
         self.requests = 0  # admitted
@@ -62,11 +67,16 @@ class ModelTelemetry:
             self.batches += 1
             self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
 
-    def record_result(self, latency_seconds: float, ok: bool = True) -> None:
+    def record_result(
+        self,
+        latency_seconds: float,
+        ok: bool = True,
+        trace_id: str | None = None,
+    ) -> None:
         with self._lock:
             if ok:
                 self.served += 1
-                self.latency.record(latency_seconds)
+                self.latency.record(latency_seconds, trace_id=trace_id)
             else:
                 self.errors += 1
 
@@ -126,6 +136,12 @@ class GenTelemetry:
         self._lock = threading.Lock()
         self.inter_token = Histogram(window)  # seconds between tokens
         self.prefill = Histogram(window)  # seconds per prompt prefill
+        # Exemplar-enabled: each decode-tick latency bucket keeps trace
+        # ids of recent ``gen.step`` executions, so a slow-tick bucket
+        # on /metrics links to the traces of the ticks that filled it.
+        self.tick_latency = Histogram(
+            window, exemplar_bounds=DEFAULT_LATENCY_BOUNDS
+        )  # seconds per batched decode execution
         self.tokens = 0  # decoded across all sequences
         self.sequences = 0  # admitted
         self.completed = 0  # ran to a natural end (length / eos)
@@ -165,6 +181,12 @@ class GenTelemetry:
             self.ticks += 1
             self.tick_sizes[size] = self.tick_sizes.get(size, 0) + 1
 
+    def record_tick_time(
+        self, seconds: float, trace_id: str | None = None
+    ) -> None:
+        with self._lock:
+            self.tick_latency.record(seconds, trace_id=trace_id)
+
     def record_finish(self, reason: str) -> None:
         with self._lock:
             if reason == "cancelled":
@@ -173,12 +195,31 @@ class GenTelemetry:
                 self.deadline_expired += 1
             else:  # length / eos: the stream ran to its natural end
                 self.completed += 1
-            self._active -= 1
-            if self._active == 0 and self._busy_started is not None:
-                self._busy_seconds += time.monotonic() - self._busy_started
-                self._busy_started = None
+            # Clamp at zero: an unmatched finish (a teardown race
+            # double-counting one stream) must not drive the live count
+            # negative -- a negative count means the *next* admit skips
+            # starting the busy clock and every later fold is lost, so
+            # tokens/s silently inflates forever after.
+            if self._active > 0:
+                self._active -= 1
+                if self._active == 0 and self._busy_started is not None:
+                    self._busy_seconds += (
+                        time.monotonic() - self._busy_started
+                    )
+                    self._busy_started = None
 
     # -- reading --------------------------------------------------------
+    def busy_seconds(self) -> float:
+        """Cumulative busy wall time (>= 1 live stream), including the
+        in-progress busy period.  Monotonic non-decreasing -- the SLO
+        engine samples ``(tokens, busy_seconds())`` as counters and
+        rates over window deltas."""
+        with self._lock:
+            busy = self._busy_seconds
+            if self._busy_started is not None:
+                busy += time.monotonic() - self._busy_started
+            return busy
+
     @property
     def tokens_per_s(self) -> float:
         """Decode throughput over busy wall time, all sequences pooled."""
@@ -203,6 +244,7 @@ class GenTelemetry:
         with self._lock:
             itl = self.inter_token.snapshot()
             pre = self.prefill.snapshot()
+            tick = self.tick_latency.snapshot()
             return {
                 "sequences": self.sequences,
                 "completed": self.completed,
@@ -228,6 +270,13 @@ class GenTelemetry:
                     "p50": pre["p50"] * 1e3,
                     "p95": pre["p95"] * 1e3,
                     "p99": pre["p99"] * 1e3,
+                },
+                "tick_ms": {
+                    "count": tick["count"],
+                    "mean": tick["mean"] * 1e3,
+                    "p50": tick["p50"] * 1e3,
+                    "p95": tick["p95"] * 1e3,
+                    "p99": tick["p99"] * 1e3,
                 },
                 "tick_size_counts": dict(sorted(self.tick_sizes.items())),
             }

@@ -12,15 +12,22 @@ import pytest
 
 import repro.obs as obs
 from repro.obs.drift import get_recorder
+from repro.obs.slo import clear_engine
 from repro.obs.trace import get_tracer
+
+
+def _reset() -> None:
+    obs.disable()  # tracing + drift + profiler
+    clear_engine()
+    get_tracer().clear()
+    get_recorder().reset()
+    profiler = obs.get_profiler()
+    if profiler is not None:
+        profiler.clear()
 
 
 @pytest.fixture(autouse=True)
 def _clean_obs():
-    obs.disable()
-    get_tracer().clear()
-    get_recorder().reset()
+    _reset()
     yield
-    obs.disable()
-    get_tracer().clear()
-    get_recorder().reset()
+    _reset()

@@ -235,3 +235,96 @@ class TestDefaultRegistry:
 
     def test_get_registry_is_a_singleton(self):
         assert get_registry() is get_registry()
+
+
+class TestExemplars:
+    def _hist(self, **kwargs):
+        return Histogram(exemplar_bounds=(0.01, 0.1, 1.0), **kwargs)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(exemplar_bounds=(0.1, 0.1))
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(exemplar_bounds=())
+        with pytest.raises(ValueError, match="reservoir"):
+            Histogram(exemplar_bounds=(1.0,), exemplar_reservoir=0)
+
+    def test_bucket_counts_are_cumulative(self):
+        h = self._hist()
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.record(v)
+        assert h.bucket_counts() == [
+            ("0.01", 1), ("0.1", 2), ("1", 3), ("+Inf", 4),
+        ]
+
+    def test_without_bounds_no_buckets(self):
+        h = Histogram()
+        h.record(1.0, trace_id="t")
+        assert h.bucket_counts() == []
+        assert h.exemplars() == []
+
+    def test_exemplars_keep_latest_traced_observation(self):
+        h = self._hist()
+        h.record(0.005)  # untraced: counted, no exemplar
+        h.record(0.006, trace_id="first")
+        h.record(0.007, trace_id="second")
+        h.record(0.5, trace_id="slow")
+        marks = {e["le"]: e for e in h.exemplars()}
+        assert marks["0.01"]["trace_id"] == "second"
+        assert marks["1"]["trace_id"] == "slow"
+        assert marks["1"]["value"] == 0.5
+        assert "+Inf" not in marks  # nothing landed there
+
+    def test_registry_histogram_passes_bounds_through(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "lat_seconds", exemplar_bounds=(0.01, 1.0), model="m"
+        )
+        assert h.exemplar_bounds == (0.01, 1.0)
+        # get-or-create returns the same configured instrument
+        assert reg.histogram("lat_seconds", model="m") is h
+
+    def test_json_exposition_carries_exemplars(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", exemplar_bounds=(0.01, 1.0))
+        h.record(0.005, trace_id="abc123")
+        series = reg.to_json()["lat_seconds"]["series"][0]
+        assert series["exemplars"] == [
+            {"le": "0.01", "value": 0.005, "trace_id": "abc123"}
+        ]
+
+    def test_prometheus_renders_openmetrics_exemplars(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "lat_seconds", exemplar_bounds=(0.01, 1.0), model="m"
+        )
+        h.record(0.005, trace_id="abc123")
+        h.record(0.5)
+        text = reg.to_prometheus()
+        assert "# TYPE lat_seconds histogram" in text
+        assert (
+            'lat_seconds_bucket{model="m",le="0.01"} 1'
+            ' # {trace_id="abc123"} 0.005' in text
+        )
+        assert 'lat_seconds_bucket{model="m",le="1"} 2' in text
+        assert 'lat_seconds_bucket{model="m",le="+Inf"} 2' in text
+        assert 'lat_seconds_sum{model="m"} 0.505' in text
+        assert 'lat_seconds_count{model="m"} 2' in text
+
+    def test_exemplar_lines_parse_as_openmetrics(self):
+        # The obs-smoke CI job's line grammar, extended with the
+        # optional exemplar suffix -- every emitted line must match.
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", exemplar_bounds=(0.1,))
+        h.record(0.05, trace_id="t1")
+        reg.counter("a_total").set(1)
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+            r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+            r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+            r" -?[0-9.e+-]+(e[+-]?\d+)?"
+            r"( # \{trace_id=\"[^\"]*\"\} -?[0-9.e+-]+(e[+-]?\d+)?)?$"
+        )
+        for line in reg.to_prometheus().strip().splitlines():
+            if not line.startswith("#"):
+                assert sample.match(line), line

@@ -1,0 +1,153 @@
+"""Sampling profiler: folded stacks, span attribution, bounded memory."""
+
+import threading
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import profile as profile_mod
+from repro.obs import runtime as rt
+from repro.obs.profile import _TRUNCATED, SamplingProfiler
+
+
+def _busy_until(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+def _profiled_burn(profiler: SamplingProfiler, seconds: float = 0.4):
+    """Run a busy worker thread under *profiler* for *seconds*."""
+    stop = threading.Event()
+    worker = threading.Thread(
+        target=_busy_until, args=(stop,), name="burn-worker", daemon=True
+    )
+    worker.start()
+    profiler.start()
+    time.sleep(seconds)
+    profiler.stop()
+    stop.set()
+    worker.join(timeout=5.0)
+
+
+class TestSamplingProfiler:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(2000)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_stacks=0)
+
+    def test_samples_busy_thread_in_folded_form(self):
+        profiler = SamplingProfiler(hz=200)
+        _profiled_burn(profiler)
+        stats = profiler.stats()
+        assert stats["samples"] > 10
+        folded = profiler.folded()
+        burn_lines = [
+            line for line in folded.splitlines() if "burn-worker" in line
+        ]
+        assert burn_lines, folded
+        # Collapsed-stack form: semicolon-joined frames, outermost
+        # first (the thread name), then "<space>count".
+        stack, count = burn_lines[0].rsplit(" ", 1)
+        assert int(count) > 0
+        frames = stack.split(";")
+        assert frames[0] == "burn-worker"
+        assert any("_busy_until" in frame for frame in frames)
+
+    def test_start_stop_idempotent_and_flag(self):
+        profiler = SamplingProfiler(hz=100)
+        assert not rt.PROFILING
+        profiler.start()
+        profiler.start()
+        assert rt.PROFILING and profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not rt.PROFILING and not profiler.running
+
+    def test_counts_survive_stop_and_clear_resets(self):
+        profiler = SamplingProfiler(hz=200)
+        _profiled_burn(profiler, seconds=0.2)
+        assert profiler.stats()["samples"] > 0
+        profiler.clear()
+        assert profiler.stats()["samples"] == 0
+        assert profiler.folded() == ""
+
+    def test_max_stacks_overflows_into_truncated(self):
+        profiler = SamplingProfiler(hz=100, max_stacks=1)
+        # Two distinct busy threads guarantee >= 2 unique folds/sample.
+        stop = threading.Event()
+        workers = [
+            threading.Thread(
+                target=_busy_until, args=(stop,), name=f"w{i}", daemon=True
+            )
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        profiler.start()
+        time.sleep(0.3)
+        profiler.stop()
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=5.0)
+        stats = profiler.stats()
+        assert stats["unique_stacks"] <= 1 + 1  # the one fold + overflow
+        folded = dict(
+            line.rsplit(" ", 1) for line in profiler.folded().splitlines()
+        )
+        assert _TRUNCATED in folded
+
+    def test_span_attribution_tags_samples(self):
+        obs.enable(tracing=True, drift=False, clear=True)
+        profiler = SamplingProfiler(hz=300)
+        profiler.start()
+        from repro.obs.trace import span
+
+        deadline = time.monotonic() + 0.4
+        with span("engine.matmul", backend="biqgemm"):
+            while time.monotonic() < deadline:
+                sum(i * i for i in range(500))
+        profiler.stop()
+        folded = profiler.folded()
+        assert "span:engine.matmul[biqgemm]" in folded, folded
+
+
+class TestModuleLifecycle:
+    def test_start_returns_process_profiler(self):
+        profiler = profile_mod.start(hz=150, clear=True)
+        try:
+            assert profile_mod.get_profiler() is profiler
+            assert profiler.hz == 150
+            # Same hz: same instance.  New hz: replaced.
+            assert profile_mod.start(hz=150) is profiler
+            other = profile_mod.start(hz=97)
+            assert other is not profiler and not profiler.running
+        finally:
+            profile_mod.stop()
+        assert not rt.PROFILING
+
+    def test_obs_enable_profile(self):
+        obs.enable(tracing=False, drift=False, profile=True, clear=True)
+        assert rt.PROFILING
+        obs.disable()
+        assert not rt.PROFILING
+
+
+class TestProfileCommand:
+    def test_cli_emits_folded_stacks(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        out = tmp_path / "profile.folded"
+        rc = main(
+            ["profile", "--hz", "200", "--seconds", "0.3",
+             "--output", str(out)]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert text.strip(), "no samples collected"
+        for line in text.strip().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0 and stack

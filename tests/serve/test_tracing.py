@@ -260,7 +260,11 @@ class TestHttpObservability:
         ) as response:
             assert response.headers["Content-Type"].startswith("text/plain")
             text = response.read().decode()
-        assert "# TYPE repro_serve_latency_seconds summary" in text
+        # Exemplar-enabled latency series render as classic histograms
+        # (cumulative buckets); exemplar-less ones stay summaries.
+        assert "# TYPE repro_serve_latency_seconds histogram" in text
+        assert 'repro_serve_latency_seconds_bucket{model="m",le="+Inf"}' in text
+        assert "# TYPE repro_serve_queue_depth summary" in text
         assert 'repro_serve_requests_total{model="m"}' in text
         assert "repro_plan_cache_size" in text
 
@@ -269,7 +273,13 @@ class TestHttpObservability:
         with urllib.request.urlopen(base + "/metrics", timeout=10) as r:
             body = json.loads(r.read())
         assert "models" in body and "store" in body
-        assert body["obs"] == {"tracing": False, "drift": False}
+        assert body["obs"] == {
+            "tracing": False,
+            "drift": False,
+            "slo": False,
+            "profiling": False,
+            "slo_mode": "ok",
+        }
 
     def test_trace_endpoint_serves_trace_events(self, http_server):
         obs.enable(tracing=True, drift=False, clear=True)
