@@ -32,7 +32,14 @@ from repro.core.serialize import load_model_artifact, save_model_artifact
 from repro.engine import QuantSpec, engine_entry
 from repro.nn.linear import QuantLinear
 
-__all__ = ["load", "load_with_manifest", "register_model_structure", "save"]
+__all__ = [
+    "export_parts",
+    "load",
+    "load_from_parts",
+    "load_with_manifest",
+    "register_model_structure",
+    "save",
+]
 
 
 # ----------------------------------------------------------------------
@@ -282,14 +289,16 @@ def _spec_from_dict(data: Mapping[str, Any]) -> QuantSpec:
 # ----------------------------------------------------------------------
 # save / load
 # ----------------------------------------------------------------------
-def save(model: "CompiledModel | QuantModel", path: str | Path) -> None:
-    """Write *model* as a version-3 whole-model artifact.
+def export_parts(
+    model: "CompiledModel | QuantModel",
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Serialize *model* to its ``(manifest, arrays)`` parts in memory.
 
-    A :class:`~repro.api.QuantModel` is compiled first (at its config's
-    batch hint).  Each layer ships its engine's registered export
-    payload -- never float weights -- plus its bias and pinned spec, so
-    :func:`load` reconstructs a servable model with byte-identical
-    outputs in any process where the backends are registered.
+    The same content :func:`save` writes to disk, without the file: the
+    JSON-able manifest plus each layer's engine payload arrays.  This
+    is what multi-process serving packs into shared memory
+    (:mod:`repro.serve.cluster`) so N worker processes map one copy of
+    the compiled model; :func:`load_from_parts` is the inverse.
     """
     from repro import __version__
 
@@ -345,6 +354,19 @@ def save(model: "CompiledModel | QuantModel", path: str | Path) -> None:
         "batch_hint": model.batch_hint,
         "layers": entries,
     }
+    return manifest, arrays
+
+
+def save(model: "CompiledModel | QuantModel", path: str | Path) -> None:
+    """Write *model* as a version-3 whole-model artifact.
+
+    A :class:`~repro.api.QuantModel` is compiled first (at its config's
+    batch hint).  Each layer ships its engine's registered export
+    payload -- never float weights -- plus its bias and pinned spec, so
+    :func:`load` reconstructs a servable model with byte-identical
+    outputs in any process where the backends are registered.
+    """
+    manifest, arrays = export_parts(model)
     save_model_artifact(path, manifest=manifest, arrays=arrays)
 
 
@@ -369,6 +391,19 @@ def load_with_manifest(path: str | Path) -> tuple[CompiledModel, dict]:
     validating the file a second time.
     """
     manifest, arrays = load_model_artifact(path)
+    return load_from_parts(manifest, arrays)
+
+
+def load_from_parts(
+    manifest: dict, arrays: dict[str, np.ndarray]
+) -> tuple[CompiledModel, dict]:
+    """Rehydrate a model from already-decoded ``(manifest, arrays)``.
+
+    Inverse of :func:`export_parts`; the file-less half of
+    :func:`load_with_manifest`.  The arrays may be read-only views into
+    a shared-memory segment -- engines must not mutate their restored
+    payloads, and every backend's ``restore`` hook honours that.
+    """
     config = QuantConfig.from_dict(manifest["config"])
     layers_by_path: dict[str, QuantLinear] = {}
     plans: list[LayerPlan] = []

@@ -57,6 +57,11 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     # measured back-to-back (profiled / off).  Baseline ~1.0; compare
     # fails when the profiler starts taxing the hot path.
     "obs_overhead": ("profiler_cost_ratio",),
+    # The robustness contract as boolean flags (1.0 = held): every
+    # request served bit-identically with zero errors, both in steady
+    # state and with a worker SIGKILLed mid-load.  Flags, not req/s:
+    # absolute cluster throughput moves with core count.
+    "serve_cluster": ("cluster_zero_errors", "killed_worker_zero_errors"),
 }
 
 
@@ -79,7 +84,8 @@ def metric_direction(name: str) -> str | None:
         return "lower"
     if (
         name.startswith(("speedup_", "identical_"))
-        or name.endswith(("_per_s", "_reduction", "_hit_rate"))
+        or name.endswith(("_per_s", "_reduction", "_hit_rate",
+                          "_zero_errors"))
     ):
         return "higher"
     return None
@@ -178,11 +184,38 @@ def _obs_overhead_metrics(quick: bool) -> dict[str, float]:
     return metrics
 
 
+def _serve_cluster_metrics(quick: bool) -> dict[str, float]:
+    from repro.bench.registry import serve_cluster_rows
+
+    metrics: dict[str, float] = {}
+    for row in serve_cluster_rows(quick):
+        clean = row["errors"] == 0 and row["mismatches"] == 0
+        if row["kind"] == "cluster":
+            metrics["cluster_req_per_s"] = row["req_per_s"]
+            metrics["cluster_zero_errors"] = 1.0 if clean else 0.0
+        elif row["kind"] == "killed":
+            metrics["killed_req_per_s"] = row["req_per_s"]
+            metrics["killed_worker_zero_errors"] = 1.0 if clean else 0.0
+            metrics["killed_worker_deaths"] = float(row["deaths"])
+            metrics["killed_worker_redelivered"] = float(
+                row["redelivered"]
+            )
+        elif row["kind"] == "scaling":
+            # Present only on >= 4-core hosts (the collector skips the
+            # phase on narrow machines); compare_metrics skips names
+            # absent from either side, so records stay comparable
+            # across hosts of different widths.
+            metrics["scaling_req_per_s_w4"] = row["req_per_s"]
+            metrics["scaling_vs_1worker"] = row["scaling_vs_1worker"]
+    return metrics
+
+
 _COLLECTORS: dict[str, Callable[[bool], dict[str, float]]] = {
     "steady_state": _steady_state_metrics,
     "compiled_kernels": _compiled_kernels_metrics,
     "decode": _decode_metrics,
     "obs_overhead": _obs_overhead_metrics,
+    "serve_cluster": _serve_cluster_metrics,
 }
 
 

@@ -41,8 +41,11 @@ __all__ = [
     "load_engine",
     "load_model_artifact",
     "load_model_manifest",
+    "pack_model_into",
+    "packed_model_size",
     "save_engine",
     "save_model_artifact",
+    "unpack_model_from",
 ]
 
 _FORMAT_VERSION = 1
@@ -285,3 +288,146 @@ def _read_manifest(data, path) -> dict:
         ) from exc
     _validate_manifest(manifest)
     return manifest
+
+
+# ----------------------------------------------------------------------
+# packed in-memory layout (shared-memory serving)
+# ----------------------------------------------------------------------
+# The v3 ``.npz`` container is the *file* format; multi-process serving
+# additionally needs the same (manifest, arrays) pair mapped into one
+# flat buffer that N worker processes can attach read-only
+# (``multiprocessing.shared_memory``).  The layout is deliberately
+# dumb: an 8-byte little-endian header length, a JSON header (the
+# manifest plus an array table of name/dtype/shape/offset), then each
+# array's raw bytes at a 64-byte-aligned offset so every mapped view
+# starts cache-line aligned.
+
+_PACK_ALIGN = 64
+_PACK_MAGIC = "repro-shm-model"
+_PACK_VERSION = 1
+
+
+def _align(offset: int) -> int:
+    return (offset + _PACK_ALIGN - 1) // _PACK_ALIGN * _PACK_ALIGN
+
+
+def _pack_header(manifest: dict, arrays: dict[str, np.ndarray]):
+    """The JSON header + per-array offsets for the packed layout."""
+    _validate_manifest(manifest)
+    table = []
+    offset = 0  # relative to the start of the array region
+    prepared: dict[str, np.ndarray] = {}
+    for name in sorted(arrays):
+        # ascontiguousarray promotes 0-d to 1-d; preserve the original
+        # shape so scalar payloads (mu, n) round-trip like the npz path.
+        arr = np.asarray(arrays[name])
+        if not arr.flags.c_contiguous:
+            arr = np.ascontiguousarray(arr)
+        prepared[name] = arr
+        offset = _align(offset)
+        table.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": int(arr.nbytes),
+            }
+        )
+        offset += arr.nbytes
+    header = {
+        "magic": _PACK_MAGIC,
+        "version": _PACK_VERSION,
+        "manifest": manifest,
+        "arrays": table,
+    }
+    blob = json.dumps(header).encode("utf-8")
+    return blob, table, prepared, offset
+
+
+def packed_model_size(manifest: dict, arrays: dict[str, np.ndarray]) -> int:
+    """Bytes needed to :func:`pack_model_into` this model."""
+    blob, _, _, payload = _pack_header(manifest, arrays)
+    return _align(8 + len(blob)) + payload
+
+
+def pack_model_into(
+    buf, manifest: dict, arrays: dict[str, np.ndarray]
+) -> int:
+    """Write the packed model layout into *buf* (a writable buffer).
+
+    Returns the number of bytes written.  *buf* must be at least
+    :func:`packed_model_size` long; the manifest is validated exactly
+    like the ``.npz`` path, so a malformed model never reaches shared
+    memory.
+    """
+    blob, table, prepared, payload = _pack_header(manifest, arrays)
+    base = _align(8 + len(blob))
+    total = base + payload
+    view = np.frombuffer(buf, dtype=np.uint8, count=total)
+    if view.nbytes < total:
+        raise ValueError(
+            f"buffer holds {view.nbytes} bytes, packed model needs {total}"
+        )
+    view[:8] = np.frombuffer(
+        len(blob).to_bytes(8, "little"), dtype=np.uint8
+    )
+    view[8 : 8 + len(blob)] = np.frombuffer(blob, dtype=np.uint8)
+    for entry in table:
+        arr = prepared[entry["name"]]
+        start = base + entry["offset"]
+        view[start : start + arr.nbytes] = np.frombuffer(
+            arr.tobytes(), dtype=np.uint8
+        )
+    return total
+
+
+def unpack_model_from(buf) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read ``(manifest, arrays)`` back from a packed buffer.
+
+    The returned arrays are **read-only views** into *buf* -- zero
+    copies, which is the whole point: every attaching worker process
+    shares one resident copy of the compiled model.  The caller must
+    keep the underlying mapping alive as long as the arrays are in use.
+    """
+    raw = np.frombuffer(buf, dtype=np.uint8)
+    if raw.nbytes < 8:
+        raise ValueError("packed model buffer is truncated (no header)")
+    header_len = int.from_bytes(raw[:8].tobytes(), "little")
+    if header_len <= 0 or 8 + header_len > raw.nbytes:
+        raise ValueError(
+            f"packed model header length {header_len} exceeds the "
+            f"{raw.nbytes}-byte buffer"
+        )
+    try:
+        header = json.loads(raw[8 : 8 + header_len].tobytes())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"corrupted packed model header ({exc})") from exc
+    if (
+        not isinstance(header, dict)
+        or header.get("magic") != _PACK_MAGIC
+    ):
+        raise ValueError("buffer does not hold a packed repro model")
+    if header.get("version") != _PACK_VERSION:
+        raise ValueError(
+            f"packed model version {header.get('version')!r} is not "
+            f"supported (expected {_PACK_VERSION})"
+        )
+    manifest = _validate_manifest(header["manifest"])
+    base = _align(8 + header_len)
+    arrays: dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        start = base + int(entry["offset"])
+        nbytes = int(entry["nbytes"])
+        if start + nbytes > raw.nbytes:
+            raise ValueError(
+                f"packed array {entry['name']!r} overruns the buffer"
+            )
+        view = (
+            raw[start : start + nbytes]
+            .view(np.dtype(entry["dtype"]))
+            .reshape([int(d) for d in entry["shape"]])
+        )
+        view.flags.writeable = False
+        arrays[entry["name"]] = view
+    return manifest, arrays

@@ -293,6 +293,12 @@ class SLOEngine:
         }
         self._throughput: dict[str, _ThroughputWindow] = {}
         self._gen_sources: dict[str, object] = {}
+        # Models the cluster's crash-loop breaker has pulled from
+        # routing (model -> reason).  Folded into :meth:`state` so the
+        # existing per-model shed path applies, but *not* into
+        # :meth:`worst_state`: one quarantined model must not degrade
+        # the server-wide mode for the others.
+        self._quarantined: dict[str, str] = {}
         self._listeners: list = []
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -440,15 +446,38 @@ class SLOEngine:
 
     def state(self, model: str) -> str:
         """The most severe current state among specs matching *model*
-        (admission checks read this)."""
+        (admission checks read this).  A quarantined model is always
+        ``page``: the crash-loop breaker sheds through the same path
+        burn-rate paging does."""
         worst = 0
         with self._lock:
+            if model in self._quarantined:
+                return "page"
             for spec in self._specs:
                 if spec.matches(model):
                     worst = max(
                         worst, STATES.index(self._status[spec.name].state)
                     )
         return STATES[worst]
+
+    # -- quarantine (crash-loop breaker integration) -------------------
+    def quarantine(self, model: str, reason: str = "crash-loop") -> None:
+        """Mark *model* unroutable: :meth:`state` reports ``page`` for
+        it until :meth:`release`.  Driven by the cluster supervisor's
+        crash-loop breaker; rides the existing shed path instead of
+        adding a second admission mechanism."""
+        with self._lock:
+            self._quarantined[model] = reason
+
+    def release(self, model: str) -> None:
+        """Lift *model*'s quarantine (half-open probe succeeded)."""
+        with self._lock:
+            self._quarantined.pop(model, None)
+
+    def quarantined(self, model: str) -> str | None:
+        """The quarantine reason for *model*, or ``None``."""
+        with self._lock:
+            return self._quarantined.get(model)
 
     def worst_state(self) -> str:
         """The most severe current state across *all* specs (the
@@ -463,7 +492,13 @@ class SLOEngine:
     def snapshot(self) -> dict:
         """The ``GET /slo`` payload (evaluates first, so a scrape is
         never stale)."""
-        return {"enabled": _rt.SLO, "specs": self.evaluate()}
+        with self._lock:
+            quarantined = dict(self._quarantined)
+        return {
+            "enabled": _rt.SLO,
+            "specs": self.evaluate(),
+            "quarantined": quarantined,
+        }
 
     # -- evaluator thread ----------------------------------------------
     def start(self) -> None:

@@ -1,0 +1,35 @@
+"""Fault injection and chaos testing for the serving tier.
+
+:mod:`repro.resilience.faults` is the deterministic seeded
+fault-injection harness (named fault points, kill/hang/delay/fail/pause
+rules, pytest-friendly pause/resume).  :mod:`repro.resilience.chaos`
+drives a live cluster through seeded fault storms and asserts the
+recovery contract; ``python -m repro.resilience chaos`` runs it from
+the command line.
+"""
+
+from repro.resilience.faults import (
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    PoisonError,
+    clear,
+    fire,
+    install,
+    install_from_env,
+    plan,
+    resume,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "PoisonError",
+    "clear",
+    "fire",
+    "install",
+    "install_from_env",
+    "plan",
+    "resume",
+]

@@ -1,0 +1,90 @@
+"""Chaos-test the cluster serving tier from the command line.
+
+::
+
+    python -m repro.resilience chaos --seed 0 --workers 2 --requests 120
+
+runs one deterministic fault storm (worker kills, slow starts,
+stragglers, poisoned inputs) against a live process-pool server and
+exits 0 only if every request ended in a clean outcome (correct
+result, attributed 400, shed, or unroutable-while-quarantined) -- see
+:mod:`repro.resilience.chaos`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="deterministic chaos testing for the serving tier",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    chaos = sub.add_parser(
+        "chaos", help="run one seeded fault storm against a live cluster"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--clients", type=int, default=4)
+    chaos.add_argument("--requests", type=int, default=120)
+    chaos.add_argument(
+        "--kill-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="each worker dies on its Nth job (0 disables)",
+    )
+    chaos.add_argument(
+        "--slow-start-s",
+        type=float,
+        default=0.2,
+        help="injected worker startup delay (0 disables)",
+    )
+    chaos.add_argument(
+        "--straggle-every",
+        type=int,
+        default=17,
+        metavar="N",
+        help="delay every Nth job per worker (0 disables)",
+    )
+    chaos.add_argument(
+        "--poison-every",
+        type=int,
+        default=19,
+        metavar="N",
+        help="poison every Nth submitted request (0 disables)",
+    )
+    chaos.add_argument("--timeout-s", type=float, default=120.0)
+    chaos.add_argument("-q", "--quiet", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "chaos":
+        from repro.resilience.chaos import run_chaos
+
+        report = run_chaos(
+            seed=args.seed,
+            workers=args.workers,
+            clients=args.clients,
+            requests=args.requests,
+            kill_every=args.kill_every,
+            slow_start_s=args.slow_start_s,
+            straggle_every=args.straggle_every,
+            poison_every=args.poison_every,
+            timeout_s=args.timeout_s,
+            verbose=not args.quiet,
+        )
+        if args.quiet:
+            print(json.dumps(report.to_dict(), sort_keys=True), flush=True)
+        return 0 if report.ok else 1
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""Seeded chaos storms against a live cluster server.
+
+:func:`run_chaos` builds a quantized model, serves it from a
+supervised process pool (:class:`repro.serve.cluster.ClusterPool` via
+:class:`repro.serve.Server` in cluster mode), arms a deterministic
+:class:`~repro.resilience.faults.FaultPlan` storm -- worker kills,
+slow starts, stragglers, hung loops, poisoned inputs -- and hammers it
+with concurrent clients.
+
+The pass criterion is the robustness contract, not survival: every
+request must end in one of the *clean* outcomes
+
+``ok``           correct (bit-identical) result,
+``poisoned``     the injected 400-class input error, attributed,
+``shed``         429-class backpressure / SLO shed,
+``unroutable``   503 while the crash-loop breaker holds,
+
+and nothing else.  ``mismatched`` (wrong bytes) or ``unexpected``
+(unexplained 5xx) fail the run.  The same ``--seed`` replays the same
+storm against the same request sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resilience import faults
+
+__all__ = ["ChaosReport", "build_storm", "run_chaos"]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    seed: int
+    requests: int
+    outcomes: dict[str, int] = field(default_factory=dict)
+    cluster: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        bad = self.outcomes.get("mismatched", 0)
+        bad += self.outcomes.get("unexpected", 0)
+        return bad == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "outcomes": dict(self.outcomes),
+            "cluster": dict(self.cluster),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "ok": self.ok,
+        }
+
+
+def build_storm(
+    seed: int,
+    *,
+    kill_every: int = 25,
+    slow_start_s: float = 0.2,
+    straggle_every: int = 17,
+    straggle_s: float = 0.15,
+    hang_after: int | None = None,
+) -> faults.FaultPlan:
+    """The worker-side fault plan (armed in every worker process).
+
+    Counters are per process: each fresh worker startles slow, then
+    dies on its ``kill_every``-th job, straggles every
+    ``straggle_every``-th -- so the storm keeps producing deaths,
+    respawns and redeliveries for the whole run.
+    """
+    storm = faults.plan(seed=seed)
+    if slow_start_s > 0:
+        storm.delay("worker.start", slow_start_s, jitter_s=slow_start_s)
+    if straggle_every > 0:
+        storm.delay(
+            "worker.job",
+            straggle_s,
+            after=3,
+            every=straggle_every,
+            times=None,
+            jitter_s=straggle_s / 2,
+        )
+    if kill_every > 0:
+        storm.kill("worker.job", after=kill_every - 1, times=1)
+    if hang_after is not None:
+        storm.hang("worker.loop", after=hang_after)
+    return storm
+
+
+def run_chaos(
+    *,
+    seed: int = 0,
+    workers: int = 2,
+    clients: int = 4,
+    requests: int = 120,
+    kill_every: int = 25,
+    slow_start_s: float = 0.2,
+    straggle_every: int = 17,
+    poison_every: int = 19,
+    timeout_s: float = 120.0,
+    verbose: bool = False,
+) -> ChaosReport:
+    """One deterministic chaos run; returns its :class:`ChaosReport`."""
+    import threading
+
+    from repro.api import QuantConfig, quantize
+    from repro.nn import build_encoder
+    from repro.serve import ServeConfig, Server
+    from repro.serve.batcher import QueueFullError
+    from repro.serve.cluster import ClusterConfig, ModelUnroutableError
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(msg, flush=True)
+
+    compiled = quantize(
+        build_encoder("transformer-base", scale=16, layers=1, seed=seed),
+        QuantConfig(bits=2, mu=4),
+    ).compile(batch_hint=1)
+
+    storm = build_storm(
+        seed,
+        kill_every=kill_every,
+        slow_start_s=slow_start_s,
+        straggle_every=straggle_every,
+    )
+    # Workers arm the storm from their environment at startup.
+    os.environ[faults.ENV_VAR] = storm.to_json()
+    # The front process injects poison client-side: every Nth submit
+    # raises the 400-class input error the mapping must attribute.
+    front = faults.plan(seed=seed)
+    if poison_every > 0:
+        front.fail(
+            "serve.submit",
+            exc=faults.PoisonError,
+            message="chaos: poisoned input",
+            after=poison_every - 1,
+            every=poison_every,
+            times=None,
+        )
+        faults.install(front)
+
+    server = Server(
+        config=ServeConfig(
+            workers=workers,
+            max_batch=8,
+            max_latency_ms=1.0,
+            max_queue=64,
+            cluster=True,
+            cluster_config=ClusterConfig(
+                heartbeat_interval_s=0.1,
+                heartbeat_timeout_s=2.0,
+                start_timeout_s=180.0,
+                respawn_backoff_s=0.05,
+                max_redelivery=8,
+                redelivery_wait_s=timeout_s,
+                seed=seed,
+            ),
+        )
+    )
+    server.add_model("chaos", compiled)
+
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal((4, 32)) for _ in range(requests)]
+    expected = [compiled(x[None])[0] for x in inputs]
+
+    outcomes: dict[str, int] = {}
+    lock = threading.Lock()
+
+    def record(kind: str) -> None:
+        with lock:
+            outcomes[kind] = outcomes.get(kind, 0) + 1
+
+    cursor = iter(range(requests))
+
+    def client() -> None:
+        while True:
+            with lock:
+                i = next(cursor, None)
+            if i is None:
+                return
+            try:
+                y = server.predict("chaos", inputs[i], timeout=timeout_s)
+            except faults.PoisonError:
+                record("poisoned")
+            except ModelUnroutableError:
+                record("unroutable")
+            except QueueFullError:
+                record("shed")
+            except BaseException as exc:  # noqa: BLE001 -- tallied
+                say(f"unexpected: {type(exc).__name__}: {exc}")
+                record("unexpected")
+            else:
+                if np.array_equal(y, expected[i]):
+                    record("ok")
+                else:
+                    record("mismatched")
+
+    started = time.monotonic()
+    try:
+        with server:
+            threads = [
+                threading.Thread(target=client, daemon=True)
+                for _ in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout_s * 2)
+            stats = server.metrics()["models"]["chaos"]["cluster"]
+    finally:
+        faults.clear()
+        os.environ.pop(faults.ENV_VAR, None)
+
+    report = ChaosReport(
+        seed=seed,
+        requests=requests,
+        outcomes=outcomes,
+        cluster={
+            k: stats[k]
+            for k in (
+                "spawns", "deaths", "respawns", "kills",
+                "quarantines", "releases", "redelivered",
+            )
+        },
+        elapsed_s=time.monotonic() - started,
+    )
+    say(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return report

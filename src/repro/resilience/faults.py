@@ -1,0 +1,337 @@
+"""Deterministic seeded fault injection.
+
+The serving and cluster layers expose named *fault points* -- places
+where production failures actually happen (a worker about to pick up a
+job, a model about to be installed in the store, a decode tick about to
+run).  When the harness is off the call site costs one module-attribute
+read (the same discipline as :mod:`repro.obs.runtime`); when a
+:class:`FaultPlan` is armed, each point consults its rules and
+deterministically injects the planned behavior:
+
+``fail``
+    raise a planned exception (seeded: the Nth hit fails, not a coin
+    flip per call),
+``delay``
+    sleep a planned duration (straggler / slow-start injection),
+``hang``
+    block until :func:`resume` (or a deadline) -- this is how heartbeat
+    escalation and hot-swap races are tested,
+``kill``
+    hard-exit the current process via ``os._exit`` (worker-side only;
+    simulates a segfault-class death, skipping ``atexit``/``finally``),
+``pause``/``resume``
+    cooperative breakpoints for race tests: a test thread parks a
+    serving thread at a named point, interleaves the racing operation,
+    then releases it.
+
+Plans are plain data (JSON-encodable), so the front process can arm a
+plan inside a worker subprocess by passing ``REPRO_FAULT_PLAN`` in its
+environment -- see :func:`FaultPlan.to_env` / :func:`install_from_env`.
+
+Determinism: rules trigger on *hit counts* (``after``, ``every``,
+``times``) under a per-point counter, and any jitter comes from a
+``random.Random(seed)`` owned by the plan.  The same plan against the
+same request sequence injects the same faults.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ACTIVE",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "PoisonError",
+    "clear",
+    "fire",
+    "install",
+    "install_from_env",
+    "plan",
+    "resume",
+]
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Fast flag read by instrumented call sites (`if _faults.ACTIVE:`).
+ACTIVE = False
+
+_lock = threading.Lock()
+_plan: "FaultPlan | None" = None
+
+
+class FaultError(RuntimeError):
+    """An injected failure (the planned exception for ``fail`` rules)."""
+
+
+class PoisonError(ValueError):
+    """An injected malformed-input failure.
+
+    Subclasses ``ValueError`` so the serving error mapping treats a
+    poison input exactly like a real client error (HTTP 400), which is
+    the recovery behavior under test.
+    """
+
+
+@dataclass
+class FaultRule:
+    """One behavior at one point.
+
+    ``after`` skips the first N hits, then the rule is eligible;
+    ``every`` triggers on every Kth eligible hit (1 = all); ``times``
+    caps total triggers (None = unlimited).
+    """
+
+    point: str
+    action: str  # "fail" | "delay" | "hang" | "kill" | "pause"
+    after: int = 0
+    every: int = 1
+    times: int | None = 1
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+    error: str = ""
+    exc: type[Exception] | None = None  # in-process plans only
+    fired: int = 0  # mutable trigger count
+
+    _ACTIONS = ("fail", "delay", "hang", "kill", "pause")
+
+    def __post_init__(self) -> None:
+        if self.action not in self._ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r} "
+                f"(expected one of {self._ACTIONS})"
+            )
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+
+    def should_fire(self, hit: int) -> bool:
+        """Deterministic trigger decision for the *hit*-th visit
+        (1-based) to this rule's point."""
+        if self.times is not None and self.fired >= self.times:
+            return False
+        eligible = hit - self.after
+        return eligible >= 1 and (eligible - 1) % self.every == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "action": self.action,
+            "after": self.after,
+            "every": self.every,
+            "times": self.times,
+            "delay_s": self.delay_s,
+            "jitter_s": self.jitter_s,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        return cls(**{k: data[k] for k in (
+            "point", "action", "after", "every", "times",
+            "delay_s", "jitter_s", "error",
+        ) if k in data})
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s plus the pause/resume
+    machinery.  Install with :func:`install` (or use as a context
+    manager); points not named by any rule stay free."""
+
+    def __init__(self, rules: list[FaultRule] | None = None, *, seed: int = 0):
+        self.seed = int(seed)
+        self.rules: list[FaultRule] = list(rules or [])
+        self._rng = random.Random(self.seed)
+        self._hits: dict[str, int] = {}
+        self._paused: dict[str, threading.Event] = {}
+        self._parked: dict[str, threading.Event] = {}
+
+    # -- authoring ---------------------------------------------------
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def fail(self, point: str, *, exc: type[Exception] | None = None,
+             message: str = "", **kw) -> "FaultPlan":
+        return self.add(FaultRule(point, "fail", exc=exc, error=message, **kw))
+
+    def delay(self, point: str, delay_s: float, **kw) -> "FaultPlan":
+        return self.add(FaultRule(point, "delay", delay_s=delay_s, **kw))
+
+    def hang(self, point: str, **kw) -> "FaultPlan":
+        return self.add(FaultRule(point, "hang", **kw))
+
+    def kill(self, point: str, **kw) -> "FaultPlan":
+        return self.add(FaultRule(point, "kill", **kw))
+
+    def pause(self, point: str, **kw) -> "FaultPlan":
+        return self.add(FaultRule(point, "pause", **kw))
+
+    # -- wire format -------------------------------------------------
+
+    def to_json(self) -> str:
+        for rule in self.rules:
+            if rule.exc is not None:
+                raise ValueError(
+                    f"rule at {rule.point!r} carries a live exception "
+                    "type; cross-process plans must use `error=` text"
+                )
+        return json.dumps(
+            {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]}
+        )
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        data = json.loads(blob)
+        return cls(
+            [FaultRule.from_dict(r) for r in data.get("rules", ())],
+            seed=data.get("seed", 0),
+        )
+
+    def to_env(self, env: dict[str, str] | None = None) -> dict[str, str]:
+        """Encode into *env* (default: a copy of ``os.environ``) so a
+        spawned worker arms this plan at startup."""
+        out = dict(os.environ if env is None else env)
+        out[ENV_VAR] = self.to_json()
+        return out
+
+    # -- runtime -----------------------------------------------------
+
+    def hits(self, point: str) -> int:
+        with _lock:
+            return self._hits.get(point, 0)
+
+    def fire(self, point: str) -> None:
+        """Visit *point*: apply every triggered rule.  Called through
+        the module-level :func:`fire` behind the ``ACTIVE`` flag."""
+        with _lock:
+            hit = self._hits.get(point, 0) + 1
+            self._hits[point] = hit
+            todo = []
+            for rule in self.rules:
+                if rule.point == point and rule.should_fire(hit):
+                    rule.fired += 1
+                    todo.append(rule)
+        for rule in todo:
+            self._apply(rule, point)
+
+    def _apply(self, rule: FaultRule, point: str) -> None:
+        if rule.action == "delay":
+            pause = rule.delay_s
+            if rule.jitter_s:
+                with _lock:
+                    pause += self._rng.uniform(0.0, rule.jitter_s)
+            time.sleep(pause)
+        elif rule.action == "fail":
+            exc_type = rule.exc or FaultError
+            raise exc_type(
+                rule.error or f"injected fault at {point!r}"
+            )
+        elif rule.action == "kill":
+            os._exit(86)  # segfault-class death: no atexit, no finally
+        elif rule.action in ("hang", "pause"):
+            with _lock:
+                gate = self._paused.get(point)
+                if gate is None:
+                    gate = self._paused[point] = threading.Event()
+                parked = self._parked.get(point)
+                if parked is None:
+                    parked = self._parked[point] = threading.Event()
+            parked.set()  # tell the test we reached the point
+            # A hang is unbounded on the worker side by design -- the
+            # supervisor's heartbeat deadline is what ends it.
+            gate.wait()
+
+    def wait_parked(self, point: str, timeout: float = 5.0) -> bool:
+        """Block until some thread is parked at *point* (pause/hang)."""
+        with _lock:
+            parked = self._parked.get(point)
+            if parked is None:
+                parked = self._parked[point] = threading.Event()
+        return parked.wait(timeout)
+
+    def resume(self, point: str | None = None) -> None:
+        """Release threads parked at *point* (or at every point)."""
+        with _lock:
+            gates = (
+                list(self._paused.values())
+                if point is None
+                else [g for p, g in self._paused.items() if p == point]
+            )
+        for gate in gates:
+            gate.set()
+
+    # -- context manager --------------------------------------------
+
+    def __enter__(self) -> "FaultPlan":
+        install(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resume()
+        clear()
+
+
+def plan(seed: int = 0) -> FaultPlan:
+    """A fresh empty plan (fluent authoring entry point)."""
+    return FaultPlan(seed=seed)
+
+
+def install(fault_plan: FaultPlan) -> None:
+    """Arm *fault_plan* process-wide."""
+    global _plan, ACTIVE
+    with _lock:
+        _plan = fault_plan
+    ACTIVE = True
+
+
+def clear() -> None:
+    """Disarm fault injection (parked threads are released first)."""
+    global _plan, ACTIVE
+    with _lock:
+        current = _plan
+        _plan = None
+    ACTIVE = False
+    if current is not None:
+        current.resume()
+
+
+def current() -> FaultPlan | None:
+    return _plan
+
+
+def fire(point: str) -> None:
+    """Visit *point* on the armed plan.  Call sites guard with
+    ``if _faults.ACTIVE:`` so the disabled path costs one attribute
+    read."""
+    p = _plan
+    if p is not None:
+        p.fire(point)
+
+
+def resume(point: str | None = None) -> None:
+    """Release threads parked by the armed plan."""
+    p = _plan
+    if p is not None:
+        p.resume(point)
+
+
+def install_from_env(environ: dict[str, str] | None = None) -> FaultPlan | None:
+    """Arm the plan encoded in ``REPRO_FAULT_PLAN``, if present.
+
+    Worker processes call this once at startup so a front-process test
+    can schedule faults inside them deterministically.
+    """
+    env = os.environ if environ is None else environ
+    blob = env.get(ENV_VAR)
+    if not blob:
+        return None
+    fault_plan = FaultPlan.from_json(blob)
+    install(fault_plan)
+    return fault_plan

@@ -47,6 +47,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help=(
+            "serve from a supervised process pool (one shared-memory "
+            "model copy, --workers worker processes, crash redelivery "
+            "and the crash-loop breaker) instead of threads"
+        ),
+    )
+    parser.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "cluster mode: hedge a batch-1 request onto a second "
+            "worker after MS without a reply (straggler mitigation)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help=(
+            "graceful-shutdown budget: how long SIGTERM waits for "
+            "live decode streams to finish before teardown"
+        ),
+    )
     parser.add_argument("--max-batch", type=int, default=32)
     parser.add_argument("--max-latency-ms", type=float, default=5.0)
     parser.add_argument("--max-queue", type=int, default=256)
@@ -177,6 +206,11 @@ def _names(args: argparse.Namespace) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    cluster_config = None
+    if args.cluster and args.hedge_ms is not None:
+        from repro.serve.cluster import ClusterConfig
+
+        cluster_config = ClusterConfig(hedge_ms=args.hedge_ms)
     config = ServeConfig(
         workers=args.workers,
         max_batch=args.max_batch,
@@ -188,6 +222,9 @@ def main(argv: list[str] | None = None) -> int:
             int(args.budget_mb * 1e6) if args.budget_mb is not None else None
         ),
         slos=_slo_specs(args),
+        cluster=args.cluster,
+        cluster_config=cluster_config,
+        drain_timeout_s=args.drain_timeout_s,
     )
     if args.trace_file or args.drift_file or args.profile:
         import repro.obs as obs
@@ -205,7 +242,9 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"serving {len(args.artifacts)} model(s) on "
         f"http://{args.host}:{args.port} "
-        f"(workers={config.workers}, max_batch={config.max_batch}, "
+        f"(workers={config.workers} "
+        f"{'processes' if config.cluster else 'threads'}, "
+        f"max_batch={config.max_batch}, "
         f"max_latency_ms={config.max_latency_ms})",
         flush=True,
     )

@@ -41,7 +41,17 @@ __all__ = [
     "BatcherClosed",
     "PendingRequest",
     "QueueFullError",
+    "WorkerLost",
 ]
+
+
+def _tagged(exc: BaseException, request_id: str | None) -> BaseException:
+    """Attach *request_id* to *exc* (message + ``exc.request_id``) so
+    rejection errors are correlatable with the request that hit them."""
+    if request_id is not None:
+        exc.args = (f"{exc.args[0]} [request {request_id}]",) + exc.args[1:]
+        exc.request_id = request_id
+    return exc
 
 
 class QueueFullError(RuntimeError):
@@ -60,6 +70,19 @@ class BatcherClosed(RuntimeError):
     failures."""
 
 
+class WorkerLost(RuntimeError):
+    """The worker executing a request died before replying.
+
+    The cluster dispatcher raises this for jobs in flight on a killed
+    or crashed worker process; the scheduler raises it for decode ticks
+    interrupted the same way.  It is the *retryable* worker-death
+    signal: predict paths redeliver the request idempotently, decode
+    streams re-prefill from their accepted-token log.  Lives here (not
+    in the cluster package) so single-process code can catch it without
+    importing multiprocessing machinery.
+    """
+
+
 @dataclass(eq=False)  # identity semantics: requests live in queues
 class PendingRequest:
     """One enqueued request and its completion state."""
@@ -71,6 +94,10 @@ class PendingRequest:
     # can route each coalesced token to its own cache).  Never touches
     # coalescing: requests group by (shape, dtype) of ``x`` alone.
     meta: object | None = None
+    # Caller-assigned correlation id (PR 7 convention): rejection and
+    # failure errors carry it as ``exc.request_id`` so 429/503 bodies
+    # and logs point at the request that hit them.
+    request_id: str | None = None
     _done: threading.Event = field(default_factory=threading.Event)
     _result: np.ndarray | None = None
     _error: BaseException | None = None
@@ -199,17 +226,23 @@ class Batcher:
         self._coalescing = False
 
     # -- producer side -------------------------------------------------
-    def enqueue(self, x: np.ndarray, *, meta=None) -> PendingRequest:
+    def enqueue(
+        self, x: np.ndarray, *, meta=None, request_id: str | None = None
+    ) -> PendingRequest:
         """Admit one request; returns its handle.
 
         *meta* rides on the handle untouched (see
         :attr:`PendingRequest.meta`).  Raises :class:`QueueFullError`
         when the queue is at capacity (the caller should surface
         backpressure, not retry blindly) and ``RuntimeError`` after
-        :meth:`close`.
+        :meth:`close`.  *request_id* rides into every rejection error
+        (message text and ``exc.request_id``) for log correlation.
         """
         request = PendingRequest(
-            x=np.asarray(x), enqueue_time=time.monotonic(), meta=meta
+            x=np.asarray(x),
+            enqueue_time=time.monotonic(),
+            meta=meta,
+            request_id=request_id,
         )
         if _obs.TRACING:
             # Started on the producer thread so it parents onto the
@@ -227,11 +260,17 @@ class Batcher:
             with self._cond:
                 self._purge_cancelled()
                 if self._closed or self._sealed:
-                    raise BatcherClosed("batcher is closed")
+                    raise _tagged(
+                        BatcherClosed("batcher is closed"), request_id
+                    )
                 if len(self._queue) >= self.max_queue:
                     self.telemetry.record_reject()
-                    raise QueueFullError(
-                        f"request queue is full ({self.max_queue} pending)"
+                    raise _tagged(
+                        QueueFullError(
+                            f"request queue is full "
+                            f"({self.max_queue} pending)"
+                        ),
+                        request_id,
                     )
                 self._queue.append(request)
                 self.telemetry.record_enqueue(len(self._queue))
@@ -244,10 +283,14 @@ class Batcher:
         return request
 
     def submit(
-        self, x: np.ndarray, timeout: float | None = None
+        self,
+        x: np.ndarray,
+        timeout: float | None = None,
+        *,
+        request_id: str | None = None,
     ) -> np.ndarray:
         """Admit one request and block until its result is ready."""
-        return self.enqueue(x).result(timeout)
+        return self.enqueue(x, request_id=request_id).result(timeout)
 
     # -- consumer side -------------------------------------------------
     def _target(self, count: int) -> int:
@@ -399,4 +442,9 @@ class Batcher:
             request.end_queue_span(outcome="closed", error="BatcherClosed")
             # Typed, so hot-swap stragglers are retried onto the new
             # pool by Server.predict (and map to 503, not 500).
-            request.set_error(BatcherClosed("batcher closed while queued"))
+            request.set_error(
+                _tagged(
+                    BatcherClosed("batcher closed while queued"),
+                    request.request_id,
+                )
+            )

@@ -1,0 +1,140 @@
+"""Shared-memory model publication.
+
+A compiled model's engine state (packed keys, alphas, LUT scalars) is
+read-only after compile, so a worker pool needs exactly one copy per
+host.  :class:`SharedModel` packs a model's ``(manifest, arrays)`` into
+a ``multiprocessing.shared_memory`` segment with
+:func:`repro.core.serialize.pack_model_into`; workers attach by name and
+rehydrate zero-copy read-only views through
+:func:`repro.api.artifact.load_from_parts`.
+
+Lifecycle rules:
+
+* the publishing (front) process owns the segment and is the only one
+  that calls :meth:`SharedModel.unlink`;
+* workers :func:`attach` and must *detach without unlinking* -- on
+  Python 3.11 ``SharedMemory`` has no ``track=False``, so attach
+  explicitly unregisters the segment from the per-process resource
+  tracker to stop worker exit from destroying the pool's only copy.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.core.serialize import pack_model_into, packed_model_size, unpack_model_from
+
+__all__ = ["SharedModel", "attach", "publish"]
+
+
+@contextlib.contextmanager
+def untracked_attach():
+    """Suppress resource-tracker registration for attach-side opens.
+
+    Python 3.11's ``SharedMemory`` has no ``track=False``: every open
+    registers with the resource tracker, and worker exit would unlink
+    the pool's only model copy.  Unregistering *after* attach is worse
+    -- spawn children share the parent's tracker process, so a child's
+    unregister deletes the parent's (create-side) registration and the
+    final unlink then errors.  Registration is therefore suppressed at
+    the source while an attach-side open runs; the publisher stays
+    registered, so an abandoned segment is still reclaimed if the front
+    process dies.
+    """
+    original = resource_tracker.register
+
+    def register(name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+class SharedModel:
+    """A packed model living in a named shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, *, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def load(self):
+        """``(manifest, arrays)`` as read-only zero-copy views into the
+        segment.  The views alias shared memory: they stay valid only
+        while this handle is open."""
+        if self._closed:
+            raise ValueError(f"shared model {self.name!r} is closed")
+        return unpack_model_from(self._shm.buf)
+
+    def close(self) -> None:
+        """Detach this process's mapping (segment survives)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:  # live numpy views still alias the buffer
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment.  Publisher-only; call after every
+        worker has exited, or their views turn to garbage."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedModel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink() if self._owner else self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self._owner else "attached"
+        return f"SharedModel({self.name!r}, {self.nbytes} bytes, {role})"
+
+
+def publish(
+    manifest: dict, arrays: dict[str, np.ndarray], *, name: str | None = None
+) -> SharedModel:
+    """Pack ``(manifest, arrays)`` into a fresh segment and return the
+    owning handle.  *name* defaults to a collision-proof
+    ``repro-<pid>-<nonce>`` so parallel pools never race on names."""
+    size = packed_model_size(manifest, arrays)
+    if name is None:
+        name = f"repro-{os.getpid()}-{secrets.token_hex(4)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    try:
+        pack_model_into(shm.buf, manifest, arrays)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return SharedModel(shm, owner=True)
+
+
+def attach(name: str) -> SharedModel:
+    """Attach to a published segment by name (worker side)."""
+    with untracked_attach():
+        shm = shared_memory.SharedMemory(name=name, create=False)
+    return SharedModel(shm, owner=False)

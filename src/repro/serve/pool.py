@@ -62,7 +62,7 @@ class WorkerPool:
             thread = threading.Thread(
                 target=self._run,
                 args=(replica,),
-                name=f"repro-serve-{self.name}-{i}",
+                name=f"repro-worker-{self.name}-{i}",
                 daemon=True,
             )
             self._threads.append(thread)

@@ -416,6 +416,12 @@ class SequenceScheduler:
             tick_trace = None
             started = time.monotonic()
             try:
+                from repro.resilience import faults as _faults
+
+                if _faults.ACTIVE:
+                    # Inside the try: an injected tick fault fails the
+                    # live requests (like a real one), not the loop.
+                    _faults.fire("gen.tick")
                 if _obs.TRACING:
                     from repro.obs.trace import span
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -83,6 +84,15 @@ class ServeConfig:
     against.  ``budget_bytes`` bounds the store's resident compiled
     weight bytes (LRU eviction).
 
+    ``cluster=True`` serves each model from a supervised **process**
+    pool (:class:`repro.serve.cluster.ClusterPool`): one shared-memory
+    copy of the compiled weights, ``workers`` worker processes, crash
+    redelivery, and the crash-loop breaker -- a quarantined model
+    answers 503 (:class:`~repro.serve.cluster.ModelUnroutableError`)
+    until a probe worker survives.  ``cluster_config`` tunes the
+    supervisor; ``drain_timeout_s`` bounds how long :meth:`Server.stop`
+    waits for live decode streams to finish before teardown.
+
     ``slos`` installs a :class:`repro.obs.slo.SLOEngine` over the given
     :class:`~repro.obs.slo.SLOSpec` objectives while the server runs,
     and subscribes the server for graceful degradation: on ``warn``
@@ -105,6 +115,10 @@ class ServeConfig:
     # and how long a decode tick waits to coalesce more sequences.
     max_sequences: int = 16
     decode_latency_ms: float = 2.0
+    # Process-pool serving (repro.serve.cluster).
+    cluster: bool = False
+    cluster_config: "object | None" = None  # ClusterConfig
+    drain_timeout_s: float = 5.0
     # SLO-driven degradation (inert while ``slos`` is empty).
     slos: tuple = ()
     degrade_sequences_factor: float = 0.5
@@ -305,6 +319,44 @@ class Server:
                 "requests currently queued",
                 model=name,
             ).set(runtime.batcher.pending())
+            cluster_stats = getattr(runtime.pool, "cluster_stats", None)
+            if cluster_stats is not None:
+                stats = cluster_stats()
+                cluster_counters = (
+                    ("spawns", "worker processes started"),
+                    ("deaths", "worker processes that died"),
+                    ("respawns", "workers replaced after a death"),
+                    ("kills", "workers killed by escalation"),
+                    ("quarantines", "crash-loop breaker trips"),
+                    ("releases", "breaker releases (probe survived)"),
+                    ("redelivered", "in-flight requests retried after "
+                                    "a worker death"),
+                    ("hedges", "batch-1 requests hedged to a second "
+                               "worker"),
+                    ("hedge_wins", "hedged requests won by the hedge"),
+                )
+                for metric, help_text in cluster_counters:
+                    registry.counter(
+                        f"repro_cluster_{metric}_total",
+                        help_text,
+                        model=name,
+                    ).set(stats[metric])
+                registry.gauge(
+                    "repro_cluster_workers_alive",
+                    "live worker processes",
+                    model=name,
+                ).set(sum(1 for w in stats["workers"] if w["alive"]))
+                registry.gauge(
+                    "repro_cluster_quarantined",
+                    "1 while the crash-loop breaker holds the model "
+                    "unroutable",
+                    model=name,
+                ).set(1.0 if stats["quarantined"] else 0.0)
+                registry.gauge(
+                    "repro_cluster_shared_bytes",
+                    "bytes of the shared-memory model segment",
+                    model=name,
+                ).set(stats["shared_bytes"])
         with self._lock:
             schedulers = dict(self._schedulers)
         for name, scheduler in sorted(schedulers.items()):
@@ -375,11 +427,55 @@ class Server:
             max_latency_ms=self.config.max_latency_ms,
             max_queue=self.config.max_queue,
         )
-        pool = WorkerPool(
-            compiled, batcher, workers=self.config.workers, name=name
-        )
+        if self.config.cluster:
+            from repro.serve.cluster import ClusterPool
+
+            pool = ClusterPool(
+                compiled,
+                batcher,
+                workers=self.config.workers,
+                name=name,
+                config=self.config.cluster_config,
+                on_quarantine=(
+                    lambda reason, _name=name: self._on_pool_quarantine(
+                        _name, reason
+                    )
+                ),
+                on_release=(
+                    lambda _name=name: self._on_pool_release(_name)
+                ),
+            )
+        else:
+            pool = WorkerPool(
+                compiled, batcher, workers=self.config.workers, name=name
+            )
         pool.start()
         return _ModelRuntime(batcher=batcher, pool=pool)
+
+    def _on_pool_quarantine(self, name: str, reason: str) -> None:
+        """Supervisor crash-loop breaker tripped: route through the
+        *existing* SLO shed machinery -- the model pages, `/slo` shows
+        why, and :meth:`_check_admission` refuses new work with 503."""
+        _LOG.error(
+            json.dumps(
+                {"event": "model_quarantined", "model": name,
+                 "reason": reason},
+                sort_keys=True,
+            )
+        )
+        engine = self._slo_engine
+        if engine is not None:
+            engine.quarantine(name, reason=reason)
+
+    def _on_pool_release(self, name: str) -> None:
+        _LOG.warning(
+            json.dumps(
+                {"event": "model_released", "model": name}, sort_keys=True
+            )
+        )
+        engine = self._slo_engine
+        if engine is not None:
+            engine.release(name)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "Server":
@@ -411,7 +507,23 @@ class Server:
         return self
 
     def stop(self) -> None:
-        """Stop HTTP (if serving), drain and join every worker pool."""
+        """Drain, then close -- strictly in that order.
+
+        In-flight work finishes before anything it depends on is torn
+        down: live decode streams get up to ``drain_timeout_s`` to run
+        their remaining ticks (the HTTP listener stays up so their
+        consumers keep reading), *then* the listener stops, *then*
+        schedulers and worker pools -- and, in cluster mode, the shared
+        model segment is unlinked only after every worker process has
+        exited.  Closing the listener first (the old order) killed
+        streams mid-token on SIGTERM.
+        """
+        with self._lock:
+            schedulers_snapshot = dict(self._schedulers)
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        for scheduler in schedulers_snapshot.values():
+            while scheduler.active() and time.monotonic() < deadline:
+                time.sleep(0.02)
         self.stop_http()
         engine, self._slo_engine = self._slo_engine, None
         if engine is not None:
@@ -428,7 +540,7 @@ class Server:
         for scheduler in schedulers.values():
             scheduler.stop()
         for runtime in runtimes.values():
-            runtime.pool.stop()
+            runtime.pool.stop(drain=True)
         if self._metrics_collector is not None:
             from repro.obs.metrics import get_registry
 
@@ -501,9 +613,25 @@ class Server:
         Only rejects *admissions*: requests already queued and decode
         streams already live drain normally, which is what lets the
         burn rate actually recover.
+
+        A *quarantined* model (cluster crash-loop breaker) outranks a
+        paging one: it is refused with 503
+        (:class:`~repro.serve.cluster.ModelUnroutableError`, "the
+        server is broken") rather than 429 ("you are sending too
+        much"), because no client pacing will make a crash-looping
+        pool routable.
         """
         engine = self._slo_engine
-        if engine is not None and engine.state(name) == "page":
+        if engine is None:
+            return
+        reason = engine.quarantined(name)
+        if reason is not None:
+            from repro.serve.cluster import ModelUnroutableError
+
+            raise ModelUnroutableError(
+                f"model {name!r} is quarantined ({reason})"
+            )
+        if engine.state(name) == "page":
             raise AdmissionShedError(
                 f"model {name!r} is shedding load (SLO page); retry "
                 f"after {self.config.retry_after_s:g}s",
@@ -566,8 +694,8 @@ class Server:
                 from repro.obs.trace import span
 
                 with span("serve.admit", trace_id=rid, model=name):
-                    return self._submit(name, x, timeout)
-            return self._submit(name, x, timeout)
+                    return self._submit(name, x, timeout, request_id=rid)
+            return self._submit(name, x, timeout, request_id=rid)
         except BaseException as exc:
             # Attribute the failure: the id rides on the exception (the
             # HTTP layer echoes it in the error body) and one
@@ -602,6 +730,18 @@ class Server:
         if scheduler is not None:
             return scheduler
         compiled = self.store.get(name)  # raises ModelNotFound
+        if self.config.cluster and all(
+            getattr(compiled.model, attr, None) is not None
+            for attr in ("init_cache", "prefill", "step_many", "embedding")
+        ):
+            # Decode against the worker processes: sequences pin their
+            # KV to a worker and survive its death by re-prefill (see
+            # ClusterCompiled).  Non-decode models keep the local
+            # compiled handle so the scheduler's type check still
+            # explains what is missing.
+            from repro.serve.cluster import ClusterCompiled
+
+            compiled = ClusterCompiled(self._runtime(name).pool)
         candidate = SequenceScheduler(
             compiled,
             max_sequences=self.config.max_sequences,
@@ -658,15 +798,41 @@ class Server:
             prompt, max_new_tokens, **kwargs
         )
 
-    def _submit(self, name: str, x: np.ndarray, timeout: float) -> np.ndarray:
+    def _submit(
+        self,
+        name: str,
+        x: np.ndarray,
+        timeout: float,
+        *,
+        request_id: str | None = None,
+    ) -> np.ndarray:
+        from repro.resilience import faults as _faults
+        from repro.serve.cluster import ModelUnroutableError
+
+        if _faults.ACTIVE:
+            _faults.fire("serve.submit")
         # A hot-swap can seal the runtime we just resolved (between the
         # lookup and the submit); re-resolve and retry -- the new pool
         # is installed before the old one seals, so one retry suffices
         # (bounded anyway in case the server is stopping for real).
         for _ in range(3):
             runtime = self._runtime(name)
+            # Cluster crash-loop breaker, checked here (not just in
+            # _check_admission) so a server without SLOs still refuses
+            # unroutable work up front instead of queueing it.
+            reason = getattr(runtime.pool, "quarantined", None)
+            if reason is not None:
+                raise ModelUnroutableError(
+                    f"model {name!r} is quarantined ({reason})"
+                )
             try:
-                return runtime.batcher.submit(x, timeout)
+                return runtime.batcher.submit(
+                    x, timeout, request_id=request_id
+                )
+            except ModelUnroutableError:
+                # Quarantine tripped while we were queued: a retry
+                # loop cannot outwait a crash-looping pool.
+                raise
             except BatcherClosed:
                 continue
         raise BatcherClosed(
@@ -692,6 +858,9 @@ class Server:
         for name, runtime in sorted(runtimes.items()):
             snapshot = runtime.telemetry.snapshot()
             snapshot["workspace"] = runtime.pool.workspace_stats()
+            cluster_stats = getattr(runtime.pool, "cluster_stats", None)
+            if cluster_stats is not None:
+                snapshot["cluster"] = cluster_stats()
             scheduler = schedulers.get(name)
             if scheduler is not None:
                 snapshot["generation"] = scheduler.telemetry.snapshot()
@@ -720,12 +889,28 @@ class Server:
             name: runtime.pool.running for name, runtime in runtimes.items()
         }
         ok = started and all(workers.values())
-        return {
+        out = {
             "status": "ok" if ok else "unavailable",
             "started": started,
             "models": len(runtimes),
             "workers_alive": workers,
         }
+        cluster = {}
+        for name, runtime in runtimes.items():
+            stats_fn = getattr(runtime.pool, "cluster_stats", None)
+            if stats_fn is None:
+                continue
+            stats = stats_fn()
+            cluster[name] = {
+                "alive": sum(1 for w in stats["workers"] if w["alive"]),
+                "workers": len(stats["workers"]),
+                "quarantined": stats["quarantined"],
+            }
+        if cluster:
+            out["cluster"] = cluster
+            if any(c["quarantined"] for c in cluster.values()):
+                out["status"] = "degraded" if ok else out["status"]
+        return out
 
     # -- HTTP frontend ---------------------------------------------------
     def serve_http(
@@ -761,7 +946,10 @@ class Server:
             try:
                 httpd.serve_forever()
             finally:
-                self.stop_http()
+                # Full drain-then-close shutdown: SIGTERM/Ctrl-C must
+                # let in-flight decode ticks finish before the pools
+                # (and any shared-memory segments) go away.
+                self.stop()
         return httpd
 
     def stop_http(self) -> None:

@@ -136,6 +136,12 @@ class ModelStore:
                 f"{type(model).__name__}"
             )
         model.warmup()
+        from repro.resilience import faults as _faults
+
+        if _faults.ACTIVE:
+            # Between warmup and install: the window a concurrent
+            # eviction or swap can race (exercised by the fault tests).
+            _faults.fire("store.add.before_install")
         nbytes = int(model.weight_nbytes)
         now = time.monotonic()
         with self._lock:

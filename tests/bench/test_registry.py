@@ -27,8 +27,8 @@ class TestRegistry:
             "fig8", "fig9", "fig10",
             "mu", "lut_build", "tiling", "threads",
             "models", "shared", "cache", "qat",
-            "dispatch", "model_compile", "serve", "steady_state",
-            "compiled_kernels", "obs_overhead", "decode",
+            "dispatch", "model_compile", "serve", "serve_cluster",
+            "steady_state", "compiled_kernels", "obs_overhead", "decode",
         }
         assert expected == set(EXPERIMENTS)
 

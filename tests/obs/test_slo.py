@@ -269,9 +269,10 @@ class TestModuleGlobals:
     def test_snapshot_shape(self):
         engine = SLOEngine([_latency_spec()])
         snap = engine.snapshot()
-        assert set(snap) == {"enabled", "specs"}
+        assert set(snap) == {"enabled", "specs", "quarantined"}
         assert snap["specs"][0]["state"] == "ok"
         assert snap["specs"][0]["transitions"] == []
+        assert snap["quarantined"] == {}
 
     def test_evaluator_thread_lifecycle(self):
         engine = SLOEngine([_latency_spec()], eval_interval_s=0.01)

@@ -1,0 +1,55 @@
+"""End-to-end chaos: a seeded storm against a live cluster server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.chaos import ChaosReport, build_storm, run_chaos
+
+
+class TestStorm:
+    def test_storm_is_wire_encodable(self):
+        storm = build_storm(3, hang_after=10)
+        clone_rules = [
+            r.to_dict()
+            for r in type(storm).from_json(storm.to_json()).rules
+        ]
+        assert clone_rules == [r.to_dict() for r in storm.rules]
+        points = {r.point for r in storm.rules}
+        assert points == {"worker.start", "worker.job", "worker.loop"}
+
+    def test_report_verdict(self):
+        good = ChaosReport(seed=0, requests=2, outcomes={"ok": 2})
+        assert good.ok
+        bad = ChaosReport(
+            seed=0, requests=2, outcomes={"ok": 1, "unexpected": 1}
+        )
+        assert not bad.ok
+        assert bad.to_dict()["ok"] is False
+
+
+class TestChaosRun:
+    @pytest.mark.parametrize("seed", [0])
+    def test_storm_only_produces_clean_outcomes(self, seed):
+        report = run_chaos(
+            seed=seed,
+            workers=2,
+            clients=4,
+            requests=40,
+            # jobs are coalesced batches, not requests: each worker
+            # sees only a handful, so kill early to guarantee deaths
+            kill_every=3,
+            slow_start_s=0.05,
+            straggle_every=9,
+            poison_every=13,
+        )
+        assert report.ok, report.to_dict()
+        # the storm actually stormed: kills produced deaths and
+        # redeliveries, poison produced attributed 400s
+        assert report.cluster["deaths"] >= 1
+        assert report.cluster["respawns"] >= 1
+        assert report.outcomes.get("poisoned", 0) >= 1
+        assert report.outcomes.get("mismatched", 0) == 0
+        assert report.outcomes.get("unexpected", 0) == 0
+        total = sum(report.outcomes.values())
+        assert total == 40  # every request accounted for

@@ -1,0 +1,158 @@
+"""repro.resilience.faults: the deterministic fault-injection harness.
+
+Every fault class the cluster work relies on is exercised here at the
+harness level (fail / delay / hang+resume / pause / kill wiring /
+poison), plus the determinism contract: the same plan against the same
+hit sequence injects the same faults.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultError, FaultPlan, FaultRule, PoisonError
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    faults.clear()
+
+
+class TestRules:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule("p", "explode")
+
+    def test_after_every_times_schedule(self):
+        rule = FaultRule("p", "fail", after=2, every=3, times=2)
+        fired = [hit for hit in range(1, 20) if rule.should_fire(hit)
+                 and not (setattr(rule, "fired", rule.fired + 1))]
+        # hits 3, 6 (after=2 skips 1-2; every 3rd eligible; capped at 2)
+        assert fired == [3, 6]
+
+    def test_times_none_is_unlimited(self):
+        rule = FaultRule("p", "delay", times=None)
+        assert all(rule.should_fire(hit) for hit in range(1, 10))
+
+    def test_json_round_trip(self):
+        armed = faults.plan(seed=7).fail("a", message="boom").delay(
+            "b", 0.5, jitter_s=0.1, after=3
+        )
+        clone = FaultPlan.from_json(armed.to_json())
+        assert clone.seed == 7
+        assert [r.to_dict() for r in clone.rules] == [
+            r.to_dict() for r in armed.rules
+        ]
+
+    def test_live_exception_types_refuse_wire_format(self):
+        armed = faults.plan().fail("a", exc=KeyError)
+        with pytest.raises(ValueError, match="live exception"):
+            armed.to_json()
+
+    def test_env_round_trip(self):
+        env = faults.plan(seed=3).fail("x").to_env({})
+        assert faults.ENV_VAR in env
+        installed = faults.install_from_env(env)
+        assert installed is not None and faults.ACTIVE
+        assert installed.rules[0].point == "x"
+
+    def test_install_from_env_without_plan_is_noop(self):
+        assert faults.install_from_env({}) is None
+        assert not faults.ACTIVE
+
+
+class TestInjection:
+    def test_inactive_fire_is_free(self):
+        assert not faults.ACTIVE
+        faults.fire("anything")  # no plan armed: must not raise
+
+    def test_fail_injects_on_scheduled_hit(self):
+        with faults.plan().fail("op", after=1) as armed:
+            faults.fire("op")  # hit 1: skipped
+            with pytest.raises(FaultError, match="injected fault"):
+                faults.fire("op")  # hit 2: fires
+            faults.fire("op")  # times=1 default: spent
+            assert armed.hits("op") == 3
+
+    def test_fail_with_custom_exception(self):
+        with faults.plan().fail("op", exc=PoisonError, message="bad bytes"):
+            with pytest.raises(PoisonError, match="bad bytes"):
+                faults.fire("op")
+
+    def test_poison_is_a_value_error(self):
+        # The serving layer maps ValueError to HTTP 400; poison inputs
+        # must ride that mapping, not the 5xx path.
+        assert issubclass(PoisonError, ValueError)
+
+    def test_delay_sleeps_deterministically(self):
+        with faults.plan().delay("op", 0.05):
+            started = time.monotonic()
+            faults.fire("op")
+            assert time.monotonic() - started >= 0.05
+
+    def test_jitter_is_seeded(self):
+        def jitters(seed):
+            armed = faults.plan(seed=seed).delay(
+                "op", 0.0, jitter_s=0.5, times=None
+            )
+            rng = armed._rng
+            return [rng.uniform(0.0, 0.5) for _ in range(4)]
+
+        assert jitters(5) == jitters(5)
+        assert jitters(5) != jitters(6)
+
+    def test_hang_parks_until_resume(self):
+        with faults.plan().hang("op") as armed:
+            released = threading.Event()
+
+            def victim():
+                faults.fire("op")
+                released.set()
+
+            thread = threading.Thread(target=victim, daemon=True)
+            thread.start()
+            assert armed.wait_parked("op", timeout=5.0)
+            assert not released.wait(0.1)  # genuinely parked
+            armed.resume("op")
+            assert released.wait(5.0)
+            thread.join(5.0)
+
+    def test_clear_releases_parked_threads(self):
+        armed = faults.plan().pause("op")
+        faults.install(armed)
+        done = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (faults.fire("op"), done.set()), daemon=True
+        )
+        thread.start()
+        assert armed.wait_parked("op", timeout=5.0)
+        faults.clear()
+        assert done.wait(5.0)
+        thread.join(5.0)
+
+    def test_points_are_independent(self):
+        with faults.plan().fail("a"):
+            faults.fire("b")  # unplanned point: free
+            with pytest.raises(FaultError):
+                faults.fire("a")
+
+    def test_same_plan_same_sequence_same_faults(self):
+        def run():
+            outcomes = []
+            with faults.plan(seed=1).fail("op", after=1, every=2, times=2):
+                for _ in range(8):
+                    try:
+                        faults.fire("op")
+                        outcomes.append("ok")
+                    except FaultError:
+                        outcomes.append("fault")
+            return outcomes
+
+        first, second = run(), run()
+        assert first == second
+        assert first.count("fault") == 2

@@ -1,0 +1,152 @@
+"""Hot-swap vs eviction races on the ModelStore, driven by the fault
+harness's pause/resume breakpoints (satellite of the cluster PR).
+
+The window under test is ``store.add.before_install``: a hot-swap has
+warmed the replacement model but not yet installed it.  An eviction
+interleaved there must leave the store consistent -- the swap either
+completes (new version servable) or the name is gone, and concurrent
+predicts only ever see clean accept/reject outcomes, never corruption.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import QuantConfig, quantize
+from repro.nn import build_encoder
+from repro.resilience import faults
+from repro.serve import ServeConfig, Server
+from repro.serve.batcher import BatcherClosed, QueueFullError
+from repro.serve.store import ModelNotFound, ModelStore
+
+
+def build(seed: int):
+    enc = build_encoder("transformer-base", scale=16, layers=1, seed=seed)
+    return quantize(enc, QuantConfig(bits=2, mu=4)).compile(batch_hint=1)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    faults.clear()
+
+
+class TestSwapEvictRace:
+    def test_evict_during_hot_swap_window(self):
+        server = Server(
+            config=ServeConfig(workers=1, max_batch=4, max_latency_ms=0.5)
+        )
+        v1, v2 = build(0), build(1)
+        server.add_model("m", v1)
+        x = np.random.default_rng(0).standard_normal((4, 32))
+        expect = {1: v1(x[None])[0], 2: v2(x[None])[0]}
+        with server:
+            stop = threading.Event()
+            outcomes, corrupt = [], []
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        y = server.predict("m", x, timeout=5.0)
+                    except (ModelNotFound, BatcherClosed, QueueFullError):
+                        outcomes.append("rejected")  # clean refusal
+                    except TimeoutError:
+                        outcomes.append("timeout")
+                    else:
+                        version = next(
+                            (
+                                v
+                                for v, ref in expect.items()
+                                if np.array_equal(y, ref)
+                            ),
+                            None,
+                        )
+                        if version is None:
+                            corrupt.append(y)
+                        outcomes.append(version)
+
+            client = threading.Thread(target=hammer, daemon=True)
+            client.start()
+
+            armed = faults.plan().pause(
+                "store.add.before_install", times=1
+            )
+            faults.install(armed)
+            swap = threading.Thread(
+                target=lambda: server.add_model("m", v2), daemon=True
+            )
+            swap.start()
+            # the swap is parked after warmup, before install: evict the
+            # live entry through the window
+            assert armed.wait_parked(
+                "store.add.before_install", timeout=30.0
+            )
+            server.store.evict("m")
+            assert "m" not in server.store
+            armed.resume()
+            swap.join(60.0)
+            assert not swap.is_alive()
+            stop.set()
+            client.join(30.0)
+
+            # the swap completed after the eviction: the name restarts
+            # its version history (the eviction won the race cleanly)
+            meta = next(
+                m for m in server.store.models() if m["name"] == "m"
+            )
+            assert meta["version"] == 1
+            got = server.predict("m", x, timeout=10.0)
+            assert np.array_equal(got, expect[2])
+            # concurrent traffic saw v1, v2, or a clean refusal -- never
+            # a mixed/corrupt output
+            assert corrupt == []
+            assert outcomes.count(None) == 0
+
+    def test_concurrent_swaps_settle_on_one_version(self):
+        # two racing add_model("m", ...) calls: last install wins, the
+        # loser's runtime is torn down (not leaked), and the survivor
+        # serves
+        server = Server(
+            config=ServeConfig(workers=1, max_batch=4, max_latency_ms=0.5)
+        )
+        server.add_model("m", build(0))
+        versions = [build(1), build(2)]
+        with server:
+            threads = [
+                threading.Thread(
+                    target=server.add_model, args=("m", v), daemon=True
+                )
+                for v in versions
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60.0)
+            with server._lock:
+                assert set(server._runtimes) == {"m"}
+            x = np.random.default_rng(1).standard_normal((4, 32))
+            y = server.predict("m", x, timeout=10.0)
+            assert any(
+                np.array_equal(y, v(x[None])[0]) for v in versions
+            )
+
+    def test_store_level_pause_point_fires(self):
+        # the fault point is wired at the store layer itself, not just
+        # through the server facade
+        store = ModelStore()
+        armed = faults.plan().pause("store.add.before_install", times=1)
+        faults.install(armed)
+        done = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (store.add("m", build(0)), done.set()),
+            daemon=True,
+        )
+        thread.start()
+        assert armed.wait_parked("store.add.before_install", timeout=30.0)
+        assert "m" not in store  # parked pre-install
+        armed.resume()
+        assert done.wait(30.0)
+        assert "m" in store
